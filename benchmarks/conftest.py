@@ -1,0 +1,43 @@
+"""Benchmark session support: the experiment report.
+
+Each bench registers human-readable result rows with the ``report``
+fixture; at session end the collected rows are printed as the
+paper-vs-measured table that EXPERIMENTS.md records.
+"""
+
+import pytest
+
+_ROWS: list[str] = []
+
+
+class Report:
+    """Accumulates experiment result rows for the end-of-run table."""
+
+    def row(self, experiment: str, metric: str, value: str,
+            expectation: str = "") -> None:
+        line = "%-4s | %-46s | %-18s | %s" % (experiment, metric, value,
+                                              expectation)
+        _ROWS.append(line)
+
+    def note(self, text: str) -> None:
+        _ROWS.append(text)
+
+
+@pytest.fixture
+def report():
+    return Report()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _ROWS:
+        return
+    separator = "-" * 100
+    print("\n" + separator)
+    print("EXPERIMENT RESULTS (paper-goal vs measured)")
+    print(separator)
+    print("%-4s | %-46s | %-18s | %s" % ("exp", "metric", "measured",
+                                         "paper goal / expectation"))
+    print(separator)
+    for row in _ROWS:
+        print(row)
+    print(separator)

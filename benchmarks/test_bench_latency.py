@@ -1,0 +1,79 @@
+"""E1 -- playback start latency (paper section 6 goal).
+
+"We would like to be able to start playback of a sound, using an
+existing server connection, in less than several hundred milliseconds."
+
+Measured: wall-clock time from issuing Play + StartQueue on an existing
+connection to the first nonzero sample reaching the (real-time paced)
+speaker.  Also swept across hub block sizes, the latency/overhead
+trade-off DESIGN.md section 7 calls out.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import build_playback_loud, make_rig
+from repro.dsp import tones
+from repro.protocol.types import PCM16_8K
+
+RATE = 8000
+
+
+def measure_start_latency(rig) -> float:
+    """One Play on an existing connection; seconds to first sample."""
+    loud, player, _output = build_playback_loud(rig.client)
+    capture = rig.server.hub.speakers[0].capture
+    tone = tones.sine(440.0, 0.5, RATE)
+    sound = rig.client.sound_from_samples(tone, PCM16_8K)
+    rig.client.sync()
+    capture.clear()
+    started = time.monotonic()
+    player.play(sound)
+    loud.start_queue()
+    while True:
+        if np.any(capture.samples()):
+            return time.monotonic() - started
+        if time.monotonic() - started > 10.0:
+            raise TimeoutError("no audio within 10 s")
+        time.sleep(0.0005)
+
+
+@pytest.mark.parametrize("block_frames", [80, 160, 320])
+def test_playback_start_latency(benchmark, report, block_frames):
+    rig = make_rig(block_frames=block_frames, realtime=True)
+    try:
+        latency = benchmark.pedantic(
+            lambda: measure_start_latency(rig), rounds=5, iterations=1)
+        # pedantic returns the last result; collect the stats' mean too.
+        mean_ms = benchmark.stats.stats.mean * 1000.0
+        report.row("E1",
+                   "play start latency, %d-frame (%.0f ms) blocks"
+                   % (block_frames, 1000.0 * block_frames / RATE),
+                   "%.1f ms" % mean_ms,
+                   "< 'several hundred ms'")
+        assert mean_ms < 300.0, "latency goal missed: %.1f ms" % mean_ms
+    finally:
+        rig.close()
+
+
+def test_latency_dominated_by_block_size(benchmark, report):
+    """The ablation claim: latency tracks the block period, not the
+    protocol -- smaller blocks, faster starts."""
+    means = {}
+
+    def run_comparison():
+        for block_frames in (80, 320):
+            rig = make_rig(block_frames=block_frames, realtime=True)
+            try:
+                samples = [measure_start_latency(rig) for _ in range(5)]
+                means[block_frames] = sum(samples) / len(samples)
+            finally:
+                rig.close()
+
+    benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    report.row("E1", "latency ratio 320- vs 80-frame blocks",
+               "%.2fx" % (means[320] / means[80]),
+               "> 1 (block size is the lever)")
+    assert means[320] > means[80]

@@ -1,0 +1,179 @@
+"""The answering machine of paper section 5.9, end to end.
+
+Reproduces Figures 5-2 through 5-4 exactly:
+
+* the LOUD holds a telephone, a player and a recorder (Figure 5-2);
+* the player's output is wired to the telephone's input, and the
+  telephone's output to the recorder's input (Figure 5-3);
+* the preloaded command queue answers, plays the greeting, plays the
+  beep, then records the message (Figure 5-4);
+* the machine stays *unmapped* while idle and monitors the telephone in
+  the device LOUD for rings (the paper's footnote 6);
+* the caller-hangs-up exception path stops the queue and re-arms.
+
+A scripted simulated caller rings in, listens to the greeting, speaks a
+message after the beep and hangs up.
+
+Run:  python examples/answering_machine.py
+"""
+
+import numpy as np
+
+from repro.alib import AudioClient
+from repro.dsp import tones
+from repro.dsp.synthesis import FormantSynthesizer
+from repro.protocol import events as ev
+from repro.protocol.types import (
+    DeviceClass,
+    DeviceState,
+    EventCode,
+    EventMask,
+    MULAW_8K,
+    RecordTermination,
+)
+from repro.server import AudioServer
+from repro.telephony import (
+    Dial,
+    HangUp,
+    SimulatedParty,
+    Speak,
+    Wait,
+    WaitForConnect,
+    WaitForSilence,
+)
+
+RATE = 8000
+
+
+class AnsweringMachine:
+    """The paper's example application, against the real protocol."""
+
+    def __init__(self, client: AudioClient) -> None:
+        self.client = client
+        # -- Figure 5-2: the LOUD tree -----------------------------------
+        self.loud = client.create_loud(
+            attributes={"name": "answering-machine"})
+        self.telephone = self.loud.create_device(DeviceClass.TELEPHONE)
+        self.player = self.loud.create_device(DeviceClass.PLAYER)
+        self.recorder = self.loud.create_device(DeviceClass.RECORDER)
+        # -- Figure 5-3: the wiring --------------------------------------
+        self.loud.wire(self.player, 0, self.telephone, 1)
+        self.loud.wire(self.telephone, 0, self.recorder, 0)
+        self.loud.select_events(
+            EventMask.QUEUE | EventMask.TELEPHONE | EventMask.RECORDER
+            | EventMask.LIFECYCLE)
+        # The greeting: synthesized speech, stored as 8-bit mu-law, just
+        # as section 5.9 specifies.
+        synth = FormantSynthesizer(RATE)
+        greeting_audio = synth.synthesize_text(
+            "hello. please leave a message after the beep")
+        self.greeting = client.sound_from_samples(greeting_audio, MULAW_8K)
+        self.beep = client.load_sound("beep")
+        self.message = None
+        # Monitor the device LOUD's telephone for rings (footnote 6).
+        self.phone_device_id = [
+            device.device_id for device in client.device_loud()
+            if device.device_class is DeviceClass.TELEPHONE][0]
+        client.select_events(self.phone_device_id, EventMask.DEVICE_STATE)
+        client.sync()
+
+    def preload(self) -> None:
+        """Figure 5-4: Answer -> Play greeting -> Play beep -> Record."""
+        self.message = self.client.create_sound(MULAW_8K)
+        self.telephone.answer()
+        self.player.play(self.greeting)
+        self.player.play(self.beep)
+        self.recorder.record(
+            self.message,
+            termination=int(RecordTermination.ON_HANGUP))
+
+    def wait_for_ring(self, timeout: float = 60.0):
+        """Block until the (device LOUD) telephone rings."""
+        return self.client.wait_for_event(
+            lambda event: (event.code is EventCode.DEVICE_STATE
+                           and event.detail == int(DeviceState.RINGING)),
+            timeout=timeout)
+
+    def answer_call(self) -> None:
+        """Raise, map and start the queue (paper: 'when the phone rings,
+        the application would raise the LOUD to the top of the active
+        stack, map it and start the queue')."""
+        self.loud.map()
+        self.loud.start_queue()
+
+    def wait_for_message(self, timeout: float = 120.0) -> bool:
+        """Wait until the recording ends (hangup or explicit stop)."""
+        event = self.client.wait_for_event(
+            lambda e: e.code is EventCode.RECORD_STOPPED, timeout=timeout)
+        return event is not None
+
+    def reset(self) -> None:
+        """Get ready for the next call."""
+        from repro.protocol.types import Command, CommandMode
+
+        self.loud.stop_queue()
+        self.loud.flush_queue()
+        self.telephone.issue(Command.HANG_UP, CommandMode.IMMEDIATE)
+        self.loud.unmap()
+        self.client.sync()
+
+
+def main() -> None:
+    server = AudioServer()
+    server.start()
+    client = AudioClient(port=server.port, client_name="answering-machine")
+
+    machine = AnsweringMachine(client)
+    machine.preload()
+    print("answering machine armed; LOUD stays unmapped until a ring")
+
+    # -- A scripted caller ----------------------------------------------
+    caller_voice = FormantSynthesizer(RATE)
+    caller_voice.parameters.pitch = 180.0
+    message_audio = caller_voice.synthesize_text(
+        "hi. this is chris. call me back")
+    caller_line = server.hub.exchange.add_line("5550142")
+    caller = SimulatedParty(caller_line, script=[
+        Wait(0.5),
+        Dial("5550100"),
+        WaitForConnect(),
+        # 0.8 s of quiet means the greeting *and* beep are over (the
+        # greeting's own inter-sentence pauses are shorter than that).
+        WaitForSilence(0.8),
+        Speak(message_audio),
+        Wait(0.5),
+        HangUp(),
+    ])
+    server.hub.exchange.add_party(caller)
+
+    # -- The machine's event loop ------------------------------------------
+    ring = machine.wait_for_ring()
+    assert ring is not None
+    print("ring! caller id: %s" % ring.args.get(ev.ARG_CALLER_ID))
+    machine.answer_call()
+    print("answered; playing greeting + beep, then recording")
+
+    got_message = machine.wait_for_message()
+    assert got_message, "no message recorded"
+    recorded = machine.message.read_samples()
+    seconds = len(recorded) / RATE
+    print("caller hung up; recorded %.2f s of message" % seconds)
+
+    # What did the caller hear?  The greeting and the beep, seamlessly.
+    heard = caller.heard_audio()
+    from repro.dsp.goertzel import goertzel_power
+
+    beep_power = goertzel_power(heard, 1000.0, RATE)
+    print("caller heard %.1f s of audio (beep tone power %.0f)"
+          % (len(heard) / RATE, beep_power))
+
+    machine.reset()
+    print("machine re-armed for the next call")
+
+    client.close()
+    server.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

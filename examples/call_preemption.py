@@ -1,0 +1,114 @@
+"""The audio manager arbitrating a call against background music.
+
+The paper's motivating desktop (sections 2, 4.3, 5.8): many
+applications share the audio hardware, and "an application similar to a
+window manager is needed to enforce contention policy."  Here:
+
+* a music application plays a long melody at the desktop speaker;
+* a telephone application (property DOMAIN=telephone) maps when a call
+  comes in;
+* the **audio manager**, running the TelephonePriorityPolicy, redirects
+  every map so the phone application lands on top of the active stack
+  and later desktop maps land at the bottom.
+
+The three applications are three separate client connections.
+
+Run:  python examples/call_preemption.py
+"""
+
+import numpy as np
+
+from repro.alib import AudioClient
+from repro.manager import AudioManager, TelephonePriorityPolicy
+from repro.protocol.types import (
+    Command,
+    DeviceClass,
+    EventCode,
+    EventMask,
+)
+from repro.server import AudioServer
+from repro.telephony import Dial, SimulatedParty, Wait, WaitForConnect
+
+RATE = 8000
+
+
+def wait_for(predicate, timeout=15.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+def main() -> None:
+    server = AudioServer()
+    server.start()
+
+    # -- the audio manager, first on the scene ---------------------------
+    manager_client = AudioClient(port=server.port, client_name="manager")
+    manager = AudioManager(manager_client, TelephonePriorityPolicy())
+    manager.start()
+    print("audio manager running (telephone-priority policy)")
+
+    # -- the phone application -------------------------------------------
+    phone_client = AudioClient(port=server.port, client_name="phone-app")
+    phone_loud = phone_client.create_loud()
+    telephone = phone_loud.create_device(DeviceClass.TELEPHONE)
+    phone_loud.select_events(EventMask.QUEUE | EventMask.TELEPHONE
+                             | EventMask.LIFECYCLE)
+    phone_loud.set_property("DOMAIN", "telephone")
+    phone_client.sync()
+
+    # A call arrives; the phone app maps (redirected through the manager).
+    line = server.hub.exchange.add_line("5550155")
+    server.hub.exchange.add_party(SimulatedParty(line, script=[
+        Wait(0.3), Dial("5550100"), WaitForConnect(), Wait(30.0)]))
+    phone_loud.map()
+    assert wait_for(lambda: phone_loud.query().mapped), \
+        "manager never honored the phone map"
+    telephone.answer()
+    phone_loud.start_queue()
+    print("phone application mapped at stack index %d"
+          % phone_loud.query().stack_index)
+
+    # -- the music application arrives mid-call ---------------------------
+    music_client = AudioClient(port=server.port, client_name="music-app")
+    music_loud = music_client.create_loud()
+    music = music_loud.create_device(DeviceClass.MUSIC)
+    output = music_loud.create_device(DeviceClass.OUTPUT)
+    music_loud.wire(music, 0, output, 0)
+    music_loud.select_events(EventMask.QUEUE | EventMask.LIFECYCLE)
+    music_client.sync()
+    for name in ("C4", "E4", "G4", "C5"):
+        music.note(name, beats=1.0)
+    music_loud.map()
+    assert wait_for(lambda: music_loud.query().mapped), \
+        "manager never honored the music map"
+    music_loud.start_queue()
+
+    phone_index = phone_loud.query().stack_index
+    music_index = music_loud.query().stack_index
+    print("while the call is up: phone at index %d, music at index %d"
+          % (phone_index, music_index))
+    assert phone_index == 0, "the call must stay on top"
+    assert music_index > phone_index
+    # Both are *active* (speaker and line do not conflict); the policy
+    # decided priority, not denial -- exactly the window-manager analogy.
+    assert phone_loud.query().active and music_loud.query().active
+
+    music_client.wait_for_event(
+        lambda e: e.code is EventCode.QUEUE_EMPTY, timeout=60)
+    print("music finished under the manager's ordering; call unaffected")
+
+    manager.stop()
+    for app in (phone_client, music_client, manager_client):
+        app.close()
+    server.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

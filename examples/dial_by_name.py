@@ -1,0 +1,88 @@
+"""Telephone-based "dial by name" with a touch-tone menu (paper 1.2).
+
+"With the ability to control the telephone, a workstation can be used to
+place calls from graphical speed dialers, an address book, or
+telephone-based 'dial by name' (which allows the caller to enter a name
+with touch tones)."
+
+A remote caller dials the workstation; the menu speaks a prompt through
+the speech synthesizer, the caller keys a digit, and the workstation
+reads back the matching directory entry -- the recognizer's DTMF_NOTIFY
+events drive the whole exchange.
+
+Run:  python examples/dial_by_name.py
+"""
+
+from repro.alib import AudioClient
+from repro.protocol.types import EventCode
+from repro.server import AudioServer
+from repro.telephony import (
+    Dial,
+    HangUp,
+    SendDtmf,
+    SimulatedParty,
+    Wait,
+    WaitForConnect,
+    WaitForSilence,
+)
+from repro.toolkit import build_phone_menu
+
+DIRECTORY = {
+    "1": ("angebranndt", "5550201"),
+    "2": ("schmandt", "5550202"),
+    "3": ("hyde", "5550203"),
+}
+
+
+def main() -> None:
+    server = AudioServer()
+    server.start()
+    client = AudioClient(port=server.port, client_name="dial-by-name")
+
+    looked_up: list[str] = []
+    menu, loud = build_phone_menu(
+        client,
+        "directory. press one for angebranndt. two for schmandt. "
+        "three for hyde")
+    def look_up(name: str, number: str) -> str:
+        entry = "%s at %s" % (name, number)
+        looked_up.append(entry)
+        return entry
+
+    for digit, (name, number) in DIRECTORY.items():
+        menu.add_choice(digit, name,
+                        action=lambda n=name, num=number: look_up(n, num))
+    loud.map()
+    client.sync()
+
+    # A caller rings in and presses 2 after the prompt.
+    line = server.hub.exchange.add_line("5550166")
+    server.hub.exchange.add_party(SimulatedParty(line, script=[
+        Wait(0.3), Dial("5550100"), WaitForConnect(),
+        WaitForSilence(0.8), SendDtmf("2"), Wait(2.0), HangUp()]))
+
+    print("waiting for a caller...")
+    ring = client.wait_for_event(
+        lambda event: event.code is EventCode.TELEPHONE_RING, timeout=30)
+    assert ring is not None
+    print("call from %s" % ring.args.get("caller-id"))
+    menu.telephone.answer()
+
+    result = menu.run_once(timeout=60)
+    print("caller selected: %s" % result)
+    assert looked_up, "no directory lookup happened"
+    print("directory lookup: %s" % looked_up[0])
+
+    # Speak the result back to the caller before they hang up.
+    menu.synthesizer.speak_text("calling " + looked_up[0].split(" at ")[0])
+    loud.start_queue()
+    client.wait_for_event(
+        lambda event: event.code is EventCode.QUEUE_EMPTY, timeout=30)
+
+    client.close()
+    server.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""A narrated slideshow: images timed by audio sync events (paper 5.7).
+
+"Consider an application displaying a set of images while playing a
+stored digital sound track ...  This application wants to display the
+images at some fixed rate.  The application monitors the audio server
+synchronization events on the sound track, and uses them to time the
+update of the display."
+
+The 'images' are ASCII frames; the narration is synthesized speech with
+a music bed mixed under it through a mixer device; image flips are cue
+points fired by the toolkit's MediaSynchronizer, driven purely by SYNC
+events.
+
+Run:  python examples/multimedia_sync.py
+"""
+
+import numpy as np
+
+from repro.alib import AudioClient
+from repro.dsp.music import MusicSynthesizer
+from repro.dsp.synthesis import FormantSynthesizer
+from repro.protocol.types import (
+    Command,
+    CommandMode,
+    DeviceClass,
+    EventCode,
+    EventMask,
+    PCM16_8K,
+)
+from repro.server import AudioServer
+from repro.toolkit import MediaSynchronizer
+
+RATE = 8000
+
+SLIDES = [
+    "[ slide 1: the desktop audio architecture ]",
+    "[ slide 2: the audio server and protocol  ]",
+    "[ slide 3: LOUDs, wires and command queues]",
+    "[ slide 4: synchronization with graphics  ]",
+]
+
+
+def build_soundtrack() -> np.ndarray:
+    """Narration over a quiet music bed, one 2-second segment per slide."""
+    speech = FormantSynthesizer(RATE)
+    music = MusicSynthesizer(RATE)
+    music.set_voice(waveform="triangle", volume=0.15)
+    music.set_state(tempo_bpm=120.0)
+    segments = []
+    for index in range(len(SLIDES)):
+        narration = speech.synthesize_text("slide %d" % (index + 1))
+        bed = music.render_melody([("C3", 1.0), ("G3", 1.0), ("E3", 1.0),
+                                   ("G3", 1.0)])
+        length = 2 * RATE
+        segment = np.zeros(length, dtype=np.int32)
+        segment[:min(len(narration), length)] += \
+            narration[:length].astype(np.int32)
+        segment[:min(len(bed), length)] += bed[:length].astype(np.int32)
+        segments.append(np.clip(segment, -32768, 32767).astype(np.int16))
+    return np.concatenate(segments)
+
+
+def main() -> None:
+    server = AudioServer()
+    server.start()
+    client = AudioClient(port=server.port, client_name="slideshow")
+
+    soundtrack = build_soundtrack()
+    sound = client.sound_from_samples(soundtrack, PCM16_8K)
+
+    loud = client.create_loud()
+    player = loud.create_device(DeviceClass.PLAYER)
+    output = loud.create_device(DeviceClass.OUTPUT)
+    loud.wire(player, 0, output, 0)
+    loud.select_events(EventMask.QUEUE | EventMask.SYNC)
+    loud.map()
+
+    shown: list[int] = []
+    synchronizer = MediaSynchronizer()
+    for index in range(len(SLIDES)):
+        synchronizer.add_cue(
+            index * 2 * RATE, "slide-%d" % index,
+            action=lambda i=index: (shown.append(i),
+                                    print(SLIDES[i]))[0])
+
+    player.play(sound, sync_interval_ms=100)
+    loud.start_queue()
+    print("narrated slideshow (%.0f s of audio, %d slides):"
+          % (len(soundtrack) / RATE, len(SLIDES)))
+
+    while True:
+        event = client.next_event(timeout=30.0)
+        if event is None:
+            break
+        synchronizer.handle_event(event)
+        if event.code is EventCode.QUEUE_EMPTY:
+            break
+
+    assert shown == list(range(len(SLIDES))), \
+        "slides out of order: %r" % shown
+    print("all %d slides flipped in order, timed by server sync events"
+          % len(shown))
+    client.close()
+    server.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

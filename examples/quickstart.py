@@ -1,0 +1,74 @@
+"""Quickstart: start a server, connect, play a sound, watch events.
+
+This is the desktop-audio hello world: the client builds the smallest
+useful LOUD (a player wired to a speaker output), maps it, queues a
+Play, and watches the command complete.  Everything crosses a real
+socket through the real protocol.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.alib import AudioClient
+from repro.dsp import tones
+from repro.protocol.types import DeviceClass, EventCode, EventMask, PCM16_8K
+from repro.server import AudioServer
+
+
+def main() -> None:
+    # Normally the server is already running on the workstation
+    # (repro-audio-server); here we embed one so the example is
+    # self-contained.
+    server = AudioServer()
+    server.start()
+    print("audio server on port %d" % server.port)
+
+    client = AudioClient(port=server.port, client_name="quickstart")
+    info = client.server_info()
+    print("connected to %r (protocol %d.%d, %d Hz, %d-frame blocks)"
+          % (info.vendor, info.protocol_major, info.protocol_minor,
+             info.sample_rate, info.block_frames))
+
+    print("\nphysical devices (the device LOUD):")
+    for device in client.device_loud():
+        print("  #%d %-10s %s" % (device.device_id,
+                                  device.device_class.name, device.name))
+
+    # A sound: one second of A440, stored server-side as 16-bit PCM.
+    tone = tones.sine(440.0, 1.0, info.sample_rate)
+    sound = client.sound_from_samples(tone, PCM16_8K)
+    print("\ncreated sound #%d (%d frames)" % (sound.sound_id, len(tone)))
+
+    # The LOUD: player -> output, the minimal audio structure.
+    loud = client.create_loud(attributes={"name": "quickstart"})
+    player = loud.create_device(DeviceClass.PLAYER)
+    output = loud.create_device(DeviceClass.OUTPUT)
+    loud.wire(player, 0, output, 0)
+    loud.select_events(EventMask.QUEUE | EventMask.LIFECYCLE)
+    loud.map()
+
+    # Queue the play and start the queue.
+    player.play(sound)
+    loud.start_queue()
+    print("playing...")
+
+    done = client.wait_for_event(
+        lambda event: event.code is EventCode.COMMAND_DONE, timeout=30)
+    assert done is not None, "playback never completed"
+    print("playback complete at sample time %d" % done.sample_time)
+
+    # Because the hardware is simulated, we can verify what came out of
+    # the 'speaker' sample by sample.
+    played = server.hub.speakers[0].capture.samples()
+    nonzero = np.nonzero(played)[0]
+    print("speaker emitted %d frames of audio (of %d total)"
+          % (len(nonzero), len(played)))
+
+    client.close()
+    server.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""Telephone-based remote workstation access (paper sections 1.2, 1.1).
+
+"Speech synthesis and recognition allow for remote, telephone-based
+access to information accessible by the workstation."  And: "Voice and
+text messages can be merged into applications that provide for screen or
+telephone access to each."
+
+The workstation runs a mail-over-the-phone service: a user calls in,
+authenticates with a touch-tone PIN, hears their text messages read by
+the speech synthesizer, and can dictate a spoken reply which is recorded
+as a voice message -- all over a single telephone LOUD.
+
+Run:  python examples/remote_access.py
+"""
+
+from repro.alib import AudioClient
+from repro.dsp.synthesis import FormantSynthesizer
+from repro.protocol import events as ev
+from repro.protocol.types import (
+    Command,
+    CommandMode,
+    DeviceClass,
+    EventCode,
+    EventMask,
+    MULAW_8K,
+    RecordTermination,
+)
+from repro.server import AudioServer
+from repro.telephony import (
+    Dial,
+    HangUp,
+    SendDtmf,
+    SimulatedParty,
+    Speak,
+    Wait,
+    WaitForConnect,
+    WaitForSilence,
+)
+
+RATE = 8000
+PIN = "42"
+
+INBOX = [
+    ("hyde", "protocol review at three"),
+    ("schmandt", "demo for the lab tomorrow"),
+]
+
+
+class RemoteAccessService:
+    """Answers calls, gates on a PIN, reads mail, records replies."""
+
+    def __init__(self, client: AudioClient) -> None:
+        self.client = client
+        self.loud = client.create_loud(attributes={"name": "remote-access"})
+        self.telephone = self.loud.create_device(DeviceClass.TELEPHONE)
+        self.synthesizer = self.loud.create_device(DeviceClass.SYNTHESIZER)
+        self.recorder = self.loud.create_device(DeviceClass.RECORDER)
+        self.loud.wire(self.synthesizer, 0, self.telephone, 1)
+        self.loud.wire(self.telephone, 0, self.recorder, 0)
+        self.loud.select_events(
+            EventMask.QUEUE | EventMask.TELEPHONE | EventMask.DTMF
+            | EventMask.RECORDER | EventMask.LIFECYCLE)
+        self.voice_replies: list = []
+
+    def say(self, text: str) -> None:
+        self.synthesizer.speak_text(text)
+        self.loud.start_queue()
+        self.client.wait_for_event(
+            lambda e: (e.code is EventCode.COMMAND_DONE
+                       and e.args.get("command")
+                       == int(Command.SPEAK_TEXT)),
+            timeout=60)
+
+    def read_digits(self, count: int, timeout: float = 30.0) -> str:
+        digits = ""
+        while len(digits) < count:
+            event = self.client.wait_for_event(
+                lambda e: e.code is EventCode.DTMF_NOTIFY, timeout=timeout)
+            if event is None:
+                return digits
+            digits += str(event.args[ev.ARG_DIGIT])
+        return digits
+
+    def serve_one_call(self) -> bool:
+        """Answer, authenticate, read the inbox, take a reply.
+
+        This service owns its line, so the LOUD stays mapped (unlike the
+        answering machine, which stays unmapped and watches the device
+        LOUD): ring events arrive on the bound telephone device.
+        """
+        self.loud.map()
+        self.client.sync()
+        ring = self.client.wait_for_event(
+            lambda e: e.code is EventCode.TELEPHONE_RING, timeout=60)
+        if ring is None:
+            return False
+        print("call from %s" % ring.args.get(ev.ARG_CALLER_ID))
+        self.telephone.answer()
+        self.say("enter your pin")
+        attempt = self.read_digits(len(PIN))
+        if attempt != PIN:
+            print("bad PIN %r; hanging up" % attempt)
+            self.say("access denied. goodbye")
+            self.telephone.issue(Command.HANG_UP, CommandMode.IMMEDIATE)
+            self.loud.unmap()
+            return False
+        print("PIN accepted; reading %d messages" % len(INBOX))
+        self.say("you have %d messages" % len(INBOX))
+        for sender, body in INBOX:
+            self.say("message from %s. %s" % (sender, body))
+        # Dictate a reply.
+        self.say("record your reply after the beep")
+        reply = self.client.create_sound(MULAW_8K)
+        self.recorder.record(
+            reply, termination=int(RecordTermination.ON_PAUSE),
+            pause_seconds=0.8)
+        self.loud.start_queue()
+        stopped = self.client.wait_for_event(
+            lambda e: e.code is EventCode.RECORD_STOPPED, timeout=60)
+        if stopped is not None:
+            seconds = reply.query().frame_length / RATE
+            reply.set_property("kind", "voice-reply")
+            self.voice_replies.append(reply)
+            print("recorded a %.1f s voice reply" % seconds)
+        self.say("reply saved. goodbye")
+        self.telephone.issue(Command.HANG_UP, CommandMode.IMMEDIATE)
+        self.loud.unmap()
+        return stopped is not None
+
+
+def main() -> None:
+    server = AudioServer()
+    server.start()
+    client = AudioClient(port=server.port, client_name="remote-access")
+    service = RemoteAccessService(client)
+    client.sync()
+
+    # The traveling user calls in from a hotel phone.
+    voice = FormantSynthesizer(RATE)
+    voice.parameters.pitch = 170.0
+    reply_audio = voice.synthesize_text("sounds good. see you at three")
+    line = server.hub.exchange.add_line("5550188")
+    server.hub.exchange.add_party(SimulatedParty(line, script=[
+        Wait(0.3), Dial("5550100"), WaitForConnect(),
+        WaitForSilence(0.8),            # "enter your pin"
+        SendDtmf(PIN),
+        # Listen through the inbox; speak the reply after the beep
+        # prompt goes quiet.
+        WaitForSilence(1.2),
+        Speak(reply_audio),
+        Wait(1.5),                      # pause ends the recording
+        Wait(2.0),
+    ]))
+
+    served = service.serve_one_call()
+    assert served, "the call was not served"
+    assert service.voice_replies, "no voice reply recorded"
+    print("inbox read over the phone; %d voice reply stored server-side"
+          % len(service.voice_replies))
+    client.close()
+    server.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,201 @@
+"""Voice mail with inter-application sound movement (paper Figure 1-1).
+
+The paper's Figure 1-1 shows two MIT Media Lab applications: a graphical
+voice-mail tool whose telephone messages can be *moved to the user's
+calendar*.  The enabling machinery is all server-side: messages are
+sounds in the server's data space, labeled with properties, so any
+client can reference, annotate and play them -- "the user must be able
+to move audio between applications".
+
+This example runs both applications as separate clients of one server:
+
+* the **voice-mail client** answers incoming calls and records messages
+  (each message is a server-side sound tagged with caller-id/time
+  properties);
+* the **calendar client** is a different connection entirely; the user
+  "drags" a voice message onto a calendar day, which just shares the
+  sound id -- the calendar annotates it with its own property and can
+  play it through its own LOUD.
+
+Run:  python examples/voice_mail.py
+"""
+
+from dataclasses import dataclass
+
+from repro.alib import AudioClient
+from repro.dsp.synthesis import FormantSynthesizer
+from repro.protocol import events as ev
+from repro.protocol.types import (
+    DeviceClass,
+    DeviceState,
+    EventCode,
+    EventMask,
+    MULAW_8K,
+    RecordTermination,
+)
+from repro.server import AudioServer
+from repro.telephony import (
+    Dial,
+    HangUp,
+    SimulatedParty,
+    Speak,
+    Wait,
+    WaitForConnect,
+    WaitForSilence,
+)
+
+RATE = 8000
+
+
+@dataclass
+class Message:
+    sound_id: int
+    caller: str
+    seconds: float
+
+
+class VoiceMailApp:
+    """Answers calls, records messages, keeps an inbox of sound ids."""
+
+    def __init__(self, client: AudioClient) -> None:
+        self.client = client
+        self.inbox: list[Message] = []
+        self.loud = client.create_loud(attributes={"name": "voice-mail"})
+        self.telephone = self.loud.create_device(DeviceClass.TELEPHONE)
+        self.player = self.loud.create_device(DeviceClass.PLAYER)
+        self.recorder = self.loud.create_device(DeviceClass.RECORDER)
+        self.loud.wire(self.player, 0, self.telephone, 1)
+        self.loud.wire(self.telephone, 0, self.recorder, 0)
+        self.loud.select_events(EventMask.QUEUE | EventMask.TELEPHONE
+                                | EventMask.RECORDER | EventMask.LIFECYCLE)
+        synth = FormantSynthesizer(RATE)
+        self.greeting = client.sound_from_samples(
+            synth.synthesize_text("please leave your message"), MULAW_8K)
+        self.beep = client.load_sound("beep")
+        phone = [device for device in client.device_loud()
+                 if device.device_class is DeviceClass.TELEPHONE][0]
+        client.select_events(phone.device_id, EventMask.DEVICE_STATE)
+        client.sync()
+
+    def take_one_call(self, timeout: float = 60.0) -> Message | None:
+        ring = self.client.wait_for_event(
+            lambda e: (e.code is EventCode.DEVICE_STATE
+                       and e.detail == int(DeviceState.RINGING)),
+            timeout=timeout)
+        if ring is None:
+            return None
+        caller = str(ring.args.get(ev.ARG_CALLER_ID, "unknown"))
+        message_sound = self.client.create_sound(MULAW_8K)
+        self.telephone.answer()
+        self.player.play(self.greeting)
+        self.player.play(self.beep)
+        self.recorder.record(message_sound,
+                             termination=int(RecordTermination.ON_HANGUP))
+        self.loud.map()
+        self.loud.start_queue()
+        stopped = self.client.wait_for_event(
+            lambda e: e.code is EventCode.RECORD_STOPPED, timeout=timeout)
+        self.loud.stop_queue()
+        self.loud.flush_queue()
+        from repro.protocol.types import Command, CommandMode
+
+        self.telephone.issue(Command.HANG_UP, CommandMode.IMMEDIATE)
+        self.loud.unmap()
+        if stopped is None:
+            return None
+        info = message_sound.query()
+        seconds = info.frame_length / RATE
+        # Label the message so other applications understand it:
+        # properties travel with the sound in the server's data space.
+        message_sound.set_property("caller-id", caller)
+        message_sound.set_property("kind", "voice-mail-message")
+        message = Message(message_sound.sound_id, caller, seconds)
+        self.inbox.append(message)
+        return message
+
+
+class CalendarApp:
+    """A separate client; receives shared sounds and replays them."""
+
+    def __init__(self, client: AudioClient) -> None:
+        self.client = client
+        self.loud = client.create_loud(attributes={"name": "calendar"})
+        self.player = self.loud.create_device(DeviceClass.PLAYER)
+        self.output = self.loud.create_device(DeviceClass.OUTPUT)
+        self.loud.wire(self.player, 0, self.output, 0)
+        self.loud.select_events(EventMask.QUEUE)
+        self.loud.map()
+        self.entries: dict[str, list[int]] = {}
+
+    def attach_message(self, day: str, sound_id: int) -> None:
+        """The 'drop' half of drag-and-drop between applications."""
+        self.entries.setdefault(day, []).append(sound_id)
+        # Annotate the *shared* sound from this client.
+        self.client.change_property(sound_id, "calendar-day", day)
+
+    def play_day(self, day: str) -> None:
+        from repro.protocol.requests import IssueCommand
+        from repro.protocol.types import Command, CommandMode
+        from repro.protocol.attributes import AttributeList
+
+        for sound_id in self.entries.get(day, []):
+            self.client.conn.send(IssueCommand(
+                self.loud.loud_id, self.player.device_id, Command.PLAY,
+                CommandMode.QUEUED, AttributeList({"sound": sound_id})))
+        self.loud.start_queue()
+        self.client.wait_for_event(
+            lambda e: e.code is EventCode.QUEUE_EMPTY, timeout=60)
+
+
+def main() -> None:
+    server = AudioServer()
+    server.start()
+
+    mail_client = AudioClient(port=server.port, client_name="voice-mail")
+    calendar_client = AudioClient(port=server.port, client_name="calendar")
+    voice_mail = VoiceMailApp(mail_client)
+    calendar = CalendarApp(calendar_client)
+
+    # A colleague calls in and leaves a message about a meeting.
+    voice = FormantSynthesizer(RATE)
+    voice.parameters.pitch = 170.0
+    spoken = voice.synthesize_text("lunch meeting tuesday at noon")
+    line = server.hub.exchange.add_line("5550177")
+    server.hub.exchange.add_party(SimulatedParty(line, script=[
+        Wait(0.3), Dial("5550100"), WaitForConnect(),
+        WaitForSilence(0.8), Speak(spoken), Wait(0.4), HangUp()]))
+
+    print("voice mail waiting for a call...")
+    message = voice_mail.take_one_call()
+    assert message is not None, "no message taken"
+    print("message from %s: %.1f s (sound #%d)"
+          % (message.caller, message.seconds, message.sound_id))
+
+    # The user reads the inbox and drags the message onto Tuesday.
+    calendar.attach_message("tuesday", message.sound_id)
+    print("moved message to calendar day 'tuesday'")
+
+    # The calendar client can see the voice-mail client's labels, and
+    # vice versa: shared sounds carry shared properties.
+    caller = calendar_client.get_property(message.sound_id, "caller-id")
+    day = mail_client.get_property(message.sound_id, "calendar-day")
+    print("calendar sees caller-id=%r; voice mail sees calendar-day=%r"
+          % (caller, day))
+
+    # Play the day's messages through the calendar's own speaker LOUD.
+    print("playing tuesday's messages at the desktop...")
+    calendar.play_day("tuesday")
+    import numpy as np
+
+    played = server.hub.speakers[0].capture.samples()
+    print("speaker emitted %d nonzero frames"
+          % int(np.count_nonzero(played)))
+
+    mail_client.close()
+    calendar_client.close()
+    server.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro: a reproduction of the USENIX Summer '91 desktop-audio system.
+
+"Integrating Audio and Telephony in a Distributed Workstation
+Environment" (Angebranndt, Hyde, Luong, Siravara, Schmandt).
+
+The public surface mirrors the paper's five components:
+
+* :mod:`repro.protocol` -- the audio protocol (requests/replies/events),
+* :mod:`repro.server`   -- the audio server,
+* :mod:`repro.alib`     -- the client-side library,
+* :mod:`repro.toolkit`  -- the user-level toolkit,
+* :mod:`repro.manager`  -- the audio manager client,
+
+plus the substrates a 2026 reproduction has to simulate:
+
+* :mod:`repro.hardware` -- CODEC, speakers, microphones, acoustic rooms,
+* :mod:`repro.telephony`-- a simulated telephone exchange,
+* :mod:`repro.dsp`      -- codecs, DTMF, TTS, ASR, music synthesis.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,8 @@
+"""Alib: the client-side library (paper section 4.2)."""
+
+from .api import AudioClient, DeviceHandle, LoudHandle, SoundHandle, \
+    WireHandle
+from .connection import AudioConnection, ConnectionError_
+
+__all__ = ["AudioClient", "AudioConnection", "ConnectionError_",
+           "DeviceHandle", "LoudHandle", "SoundHandle", "WireHandle"]

@@ -1,0 +1,444 @@
+"""Alib: the procedural veneer over the audio protocol.
+
+"Alib is simply a procedural interface to the audio protocol.  It is a
+'veneer' over the protocol and is the lowest level interface that
+applications will expect to use."  (paper section 4.2)
+
+:class:`AudioClient` wraps an :class:`~repro.alib.connection.
+AudioConnection` with small handle objects (louds, devices, wires,
+sounds) whose methods map one-to-one onto protocol requests.  Nothing
+here adds policy; that is the toolkit's job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsp import encodings
+from ..protocol import requests as rq
+from ..protocol.attributes import AttributeList
+from ..protocol.events import Event
+from ..protocol.types import (
+    Command,
+    CommandMode,
+    DeviceClass,
+    EventMask,
+    MULAW_8K,
+    OpCode,
+    QueueOp,
+    SoundType,
+    StackPosition,
+)
+from .connection import AudioConnection
+
+
+def _attrs(attributes: dict | AttributeList | None) -> AttributeList:
+    if attributes is None:
+        return AttributeList()
+    if isinstance(attributes, AttributeList):
+        return attributes
+    return AttributeList.of(**attributes)
+
+
+class AudioClient:
+    """A connected application: the root of the Alib object surface."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7310,
+                 client_name: str = "") -> None:
+        self.conn = AudioConnection(host, port, client_name)
+
+    # -- server-level queries ------------------------------------------------------
+
+    def server_info(self) -> rq.QueryServerReply:
+        return self.conn.round_trip(rq.QueryServer())
+
+    def device_loud(self) -> list[rq.DeviceDescription]:
+        """The physical devices (paper's device LOUD), for monitoring."""
+        return self.conn.round_trip(rq.QueryDeviceLoud()).devices
+
+    def ambient_domains(self) -> dict[str, list[int]]:
+        return self.conn.round_trip(rq.QueryAmbientDomains()).domains
+
+    def time(self) -> rq.GetTimeReply:
+        return self.conn.round_trip(rq.GetTime())
+
+    def sync(self) -> None:
+        self.conn.sync()
+
+    def no_op(self) -> None:
+        self.conn.send(rq.NoOperation())
+
+    # -- resource creation ------------------------------------------------------------
+
+    def create_loud(self, parent: "LoudHandle | None" = None,
+                    attributes: dict | None = None) -> "LoudHandle":
+        loud_id = self.conn.alloc_id()
+        self.conn.send(rq.CreateLoud(loud_id,
+                                     parent.loud_id if parent else 0,
+                                     _attrs(attributes)))
+        return LoudHandle(self, loud_id, parent)
+
+    def create_sound(self, sound_type: SoundType = MULAW_8K) -> "SoundHandle":
+        sound_id = self.conn.alloc_id()
+        self.conn.send(rq.CreateSound(sound_id, sound_type))
+        return SoundHandle(self, sound_id, sound_type)
+
+    def sound_from_samples(self, samples: np.ndarray,
+                           sound_type: SoundType = MULAW_8K) -> "SoundHandle":
+        """Create a sound and fill it with linear samples in one step."""
+        sound = self.create_sound(sound_type)
+        sound.write_samples(samples)
+        return sound
+
+    def sound_from_au(self, path) -> "SoundHandle":
+        """Create a server-side sound from a local .au file."""
+        from ..dsp.aufile import read_au
+
+        data, sound_type, _annotation = read_au(path)
+        sound = self.create_sound(sound_type)
+        sound.write(data)
+        return sound
+
+    def load_sound(self, name: str, catalogue: str = "") -> "SoundHandle":
+        """Bind a server catalogue entry (by name) to a new sound handle."""
+        sound_id = self.conn.alloc_id()
+        self.conn.send(rq.LoadSound(sound_id, name, catalogue))
+        reply = self.conn.round_trip(rq.QuerySound(sound_id))
+        return SoundHandle(self, sound_id, reply.sound_type)
+
+    def list_catalogue(self, catalogue: str = "") -> list[str]:
+        return self.conn.round_trip(rq.ListCatalogue(catalogue)).names
+
+    # -- events -------------------------------------------------------------------------
+
+    def select_events(self, resource: int, mask: EventMask) -> None:
+        self.conn.send(rq.SelectEvents(resource, mask))
+
+    def next_event(self, timeout: float | None = None) -> Event | None:
+        return self.conn.next_event(timeout)
+
+    def wait_for_event(self, predicate, timeout: float = 10.0
+                       ) -> Event | None:
+        return self.conn.wait_for_event(predicate, timeout)
+
+    def pending_events(self) -> list[Event]:
+        return self.conn.pending_events()
+
+    # -- audio manager support ---------------------------------------------------------------
+
+    def set_redirect(self, enabled: bool = True) -> None:
+        self.conn.send(rq.SetRedirect(enabled))
+
+    def allow_map(self, loud_id: int, honor: bool = True) -> None:
+        self.conn.send(rq.AllowRequest(loud_id, OpCode.MAP_LOUD, honor))
+
+    def allow_restack(self, loud_id: int,
+                      position: StackPosition = StackPosition.TOP,
+                      honor: bool = True) -> None:
+        self.conn.send(rq.AllowRequest(loud_id, OpCode.RESTACK_LOUD, honor,
+                                       position))
+
+    # -- properties -------------------------------------------------------------------------------
+
+    def change_property(self, resource: int, name: str,
+                        value: object) -> None:
+        self.conn.send(rq.ChangeProperty(resource, name, value))
+
+    def get_property(self, resource: int, name: str):
+        reply = self.conn.round_trip(rq.GetProperty(resource, name))
+        return reply.value if reply.exists else None
+
+    def delete_property(self, resource: int, name: str) -> None:
+        self.conn.send(rq.DeleteProperty(resource, name))
+
+    def list_properties(self, resource: int) -> list[str]:
+        return self.conn.round_trip(rq.ListProperties(resource)).names
+
+    # -- teardown ----------------------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "AudioClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LoudHandle:
+    """A LOUD, as the application manipulates it."""
+
+    def __init__(self, client: AudioClient, loud_id: int,
+                 parent: "LoudHandle | None" = None) -> None:
+        self.client = client
+        self.loud_id = loud_id
+        self.parent = parent
+
+    # -- structure ----------------------------------------------------------------
+
+    def create_child(self, attributes: dict | None = None) -> "LoudHandle":
+        return self.client.create_loud(self, attributes)
+
+    def create_device(self, device_class: DeviceClass,
+                      attributes: dict | None = None) -> "DeviceHandle":
+        device_id = self.client.conn.alloc_id()
+        self.client.conn.send(rq.CreateVirtualDevice(
+            device_id, self.loud_id, device_class, _attrs(attributes)))
+        return DeviceHandle(self.client, device_id, self, device_class)
+
+    def wire(self, source: "DeviceHandle", source_port: int,
+             sink: "DeviceHandle", sink_port: int,
+             wire_type: SoundType | None = None) -> "WireHandle":
+        wire_id = self.client.conn.alloc_id()
+        self.client.conn.send(rq.CreateWire(
+            wire_id, source.device_id, source_port, sink.device_id,
+            sink_port, wire_type))
+        return WireHandle(self.client, wire_id)
+
+    def destroy(self) -> None:
+        self.client.conn.send(rq.DestroyLoud(self.loud_id))
+
+    # -- mapping and stacking ---------------------------------------------------------
+
+    def map(self) -> None:
+        self.client.conn.send(rq.MapLoud(self.loud_id))
+
+    def unmap(self) -> None:
+        self.client.conn.send(rq.UnmapLoud(self.loud_id))
+
+    def raise_to_top(self) -> None:
+        self.client.conn.send(rq.RestackLoud(self.loud_id,
+                                             StackPosition.TOP))
+
+    def lower_to_bottom(self) -> None:
+        self.client.conn.send(rq.RestackLoud(self.loud_id,
+                                             StackPosition.BOTTOM))
+
+    def query(self) -> rq.QueryLoudReply:
+        return self.client.conn.round_trip(rq.QueryLoud(self.loud_id))
+
+    # -- the command queue --------------------------------------------------------------
+
+    def issue(self, device: "DeviceHandle | None", command: Command,
+              mode: CommandMode = CommandMode.QUEUED,
+              **args) -> None:
+        device_id = device.device_id if device is not None else 0
+        self.client.conn.send(rq.IssueCommand(
+            self.loud_id, device_id, command, mode, _attrs(args)))
+
+    def co_begin(self) -> None:
+        self.issue(None, Command.CO_BEGIN)
+
+    def co_end(self) -> None:
+        self.issue(None, Command.CO_END)
+
+    def delay(self, milliseconds: int) -> None:
+        self.issue(None, Command.DELAY, ms=milliseconds)
+
+    def delay_end(self) -> None:
+        self.issue(None, Command.DELAY_END)
+
+    def start_queue(self) -> None:
+        self.client.conn.send(rq.ControlQueue(self.loud_id, QueueOp.START))
+
+    def stop_queue(self) -> None:
+        self.client.conn.send(rq.ControlQueue(self.loud_id, QueueOp.STOP))
+
+    def pause_queue(self) -> None:
+        self.client.conn.send(rq.ControlQueue(self.loud_id, QueueOp.PAUSE))
+
+    def resume_queue(self) -> None:
+        self.client.conn.send(rq.ControlQueue(self.loud_id, QueueOp.RESUME))
+
+    def flush_queue(self) -> None:
+        self.client.conn.send(rq.ControlQueue(self.loud_id, QueueOp.FLUSH))
+
+    def query_queue(self) -> rq.QueryQueueReply:
+        return self.client.conn.round_trip(rq.QueryQueue(self.loud_id))
+
+    # -- events and properties --------------------------------------------------------------
+
+    def select_events(self, mask: EventMask) -> None:
+        self.client.select_events(self.loud_id, mask)
+
+    def set_property(self, name: str, value: object) -> None:
+        self.client.change_property(self.loud_id, name, value)
+
+    def get_property(self, name: str):
+        return self.client.get_property(self.loud_id, name)
+
+
+class DeviceHandle:
+    """A virtual device inside a LOUD."""
+
+    def __init__(self, client: AudioClient, device_id: int,
+                 loud: LoudHandle, device_class: DeviceClass) -> None:
+        self.client = client
+        self.device_id = device_id
+        self.loud = loud
+        self.device_class = device_class
+
+    def _root(self) -> LoudHandle:
+        node = self.loud
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def issue(self, command: Command,
+              mode: CommandMode = CommandMode.QUEUED, **args) -> None:
+        """Issue a command on this device to the root LOUD's queue."""
+        self._root().issue(self, command, mode, **args)
+
+    # Convenience verbs, one per common command.
+
+    def play(self, sound: "SoundHandle", sync_interval_ms: int = 0) -> None:
+        args = {"sound": sound.sound_id}
+        if sync_interval_ms:
+            args["sync-interval-ms"] = sync_interval_ms
+        self.issue(Command.PLAY, **args)
+
+    def record(self, sound: "SoundHandle", termination: int = 0,
+               max_length_ms: int | None = None,
+               pause_seconds: float | None = None,
+               sync_interval_ms: int = 0) -> None:
+        args: dict = {"sound": sound.sound_id, "termination": termination}
+        if max_length_ms is not None:
+            args["max-length-ms"] = max_length_ms
+        if pause_seconds is not None:
+            args["pause-seconds"] = pause_seconds
+        if sync_interval_ms:
+            args["sync-interval-ms"] = sync_interval_ms
+        self.issue(Command.RECORD, **args)
+
+    def stop(self, mode: CommandMode = CommandMode.IMMEDIATE) -> None:
+        self.issue(Command.STOP, mode)
+
+    def pause(self, mode: CommandMode = CommandMode.IMMEDIATE) -> None:
+        self.issue(Command.PAUSE, mode)
+
+    def resume(self, mode: CommandMode = CommandMode.IMMEDIATE) -> None:
+        self.issue(Command.RESUME, mode)
+
+    def change_gain(self, percent: int,
+                    mode: CommandMode = CommandMode.QUEUED) -> None:
+        self.issue(Command.CHANGE_GAIN, mode, gain=percent)
+
+    def dial(self, number: str) -> None:
+        self.issue(Command.DIAL, number=number)
+
+    def answer(self) -> None:
+        self.issue(Command.ANSWER)
+
+    def hang_up(self, mode: CommandMode = CommandMode.QUEUED) -> None:
+        self.issue(Command.HANG_UP, mode)
+
+    def send_dtmf(self, digits: str) -> None:
+        self.issue(Command.SEND_DTMF, digits=digits)
+
+    def speak_text(self, text: str, sync_interval_ms: int = 0) -> None:
+        args = {"text": text}
+        if sync_interval_ms:
+            args["sync-interval-ms"] = sync_interval_ms
+        self.issue(Command.SPEAK_TEXT, **args)
+
+    def note(self, note: str | int, beats: float = 1.0) -> None:
+        self.issue(Command.NOTE, note=note, beats=beats)
+
+    # Queries and attribute augmentation.
+
+    def query(self) -> rq.QueryVirtualDeviceReply:
+        return self.client.conn.round_trip(
+            rq.QueryVirtualDevice(self.device_id))
+
+    def augment(self, attributes: dict) -> None:
+        """Tighten this device's constraints (AugmentVirtualDevice).
+
+        The paper's idiom: query after mapping to learn the chosen
+        ``device-id``, then augment with it so remapping keeps the same
+        hardware.
+        """
+        self.client.conn.send(rq.AugmentVirtualDevice(
+            self.device_id, _attrs(attributes)))
+
+    def pin_to_current_binding(self) -> int:
+        """Query the bound device id and augment with it; returns the id."""
+        bound = self.query().attributes.get("device-id")
+        if bound is None:
+            raise RuntimeError("device is not bound; map the LOUD first")
+        self.augment({"device_id": int(bound)})
+        return int(bound)
+
+    def select_events(self, mask: EventMask) -> None:
+        self.client.select_events(self.device_id, mask)
+
+    def destroy(self) -> None:
+        self.client.conn.send(rq.DestroyVirtualDevice(self.device_id))
+
+
+class WireHandle:
+    def __init__(self, client: AudioClient, wire_id: int) -> None:
+        self.client = client
+        self.wire_id = wire_id
+
+    def query(self) -> rq.QueryWireReply:
+        return self.client.conn.round_trip(rq.QueryWire(self.wire_id))
+
+    def destroy(self) -> None:
+        self.client.conn.send(rq.DestroyWire(self.wire_id))
+
+
+class SoundHandle:
+    """A server-side sound."""
+
+    def __init__(self, client: AudioClient, sound_id: int,
+                 sound_type: SoundType) -> None:
+        self.client = client
+        self.sound_id = sound_id
+        self.sound_type = sound_type
+
+    def write(self, data: bytes, offset: int = -1) -> None:
+        """Write stored-encoding bytes (offset -1 appends)."""
+        self.client.conn.send(rq.WriteSoundData(self.sound_id, offset, data))
+
+    def write_samples(self, samples: np.ndarray, offset: int = -1) -> None:
+        """Encode linear samples into the sound's type and write them."""
+        self.write(encodings.encode(samples, self.sound_type), offset)
+
+    def read(self, offset: int = 0, length: int | None = None) -> bytes:
+        if length is None:
+            length = self.query().byte_length - offset
+        reply = self.client.conn.round_trip(
+            rq.ReadSoundData(self.sound_id, offset, length))
+        return reply.data
+
+    def read_samples(self) -> np.ndarray:
+        """The whole sound, decoded to linear samples."""
+        return encodings.decode(self.read(), self.sound_type)
+
+    def save_au(self, path, annotation: str = "") -> None:
+        """Download the sound and write it as a local .au file."""
+        from ..dsp.aufile import write_au
+
+        write_au(path, self.read(), self.sound_type, annotation)
+
+    def query(self) -> rq.QuerySoundReply:
+        return self.client.conn.round_trip(rq.QuerySound(self.sound_id))
+
+    def make_stream(self, buffer_frames: int,
+                    low_water_frames: int) -> None:
+        """Turn this (empty) sound into a real-time stream buffer."""
+        self.client.conn.send(rq.SetSoundStream(
+            self.sound_id, buffer_frames, low_water_frames))
+
+    def select_events(self, mask: EventMask) -> None:
+        self.client.select_events(self.sound_id, mask)
+
+    def set_property(self, name: str, value: object) -> None:
+        self.client.change_property(self.sound_id, name, value)
+
+    def get_property(self, name: str):
+        return self.client.get_property(self.sound_id, name)
+
+    def destroy(self) -> None:
+        self.client.conn.send(rq.DestroySound(self.sound_id))

@@ -1,0 +1,236 @@
+"""repro-audio-control: a command-line client for the audio server.
+
+The X world ships xdpyinfo/xlsclients/xset; desktop audio deserves the
+same operator tools.  Subcommands:
+
+    info                       server vendor, version, rates
+    devices                    the device LOUD (physical devices)
+    domains                    ambient domains
+    catalogue [NAME]           list a catalogue's sounds
+    play NAME                  play a catalogue sound at the speaker
+    play-file PATH             play a local .au file
+    say TEXT...                speak text at the speaker
+    dial NUMBER                place a call (hangs up when done)
+    monitor [SECONDS]          print device-LOUD events as they happen
+
+Usage:  repro-audio-control [--host H] [--port N] <subcommand> ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..dsp.aufile import read_au
+from ..protocol.types import (
+    CallProgress,
+    DEFAULT_PORT,
+    DeviceClass,
+    DeviceState,
+    EventCode,
+    EventMask,
+)
+from .api import AudioClient
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-audio-control",
+        description="Inspect and drive a running audio server.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("info")
+    commands.add_parser("devices")
+    commands.add_parser("domains")
+    catalogue = commands.add_parser("catalogue")
+    catalogue.add_argument("name", nargs="?", default="")
+    play = commands.add_parser("play")
+    play.add_argument("sound_name")
+    play.add_argument("--catalogue", default="")
+    play_file = commands.add_parser("play-file")
+    play_file.add_argument("path")
+    say = commands.add_parser("say")
+    say.add_argument("text", nargs="+")
+    dial = commands.add_parser("dial")
+    dial.add_argument("number")
+    dial.add_argument("--timeout", type=float, default=30.0)
+    monitor = commands.add_parser("monitor")
+    monitor.add_argument("seconds", nargs="?", type=float, default=5.0)
+    return parser
+
+
+def cmd_info(client: AudioClient, args, out) -> int:
+    info = client.server_info()
+    print("vendor:      %s" % info.vendor, file=out)
+    print("protocol:    %d.%d" % (info.protocol_major, info.protocol_minor),
+          file=out)
+    print("sample rate: %d Hz" % info.sample_rate, file=out)
+    print("block size:  %d frames (%.1f ms)"
+          % (info.block_frames,
+             1000.0 * info.block_frames / info.sample_rate), file=out)
+    print("encodings:   %s"
+          % ", ".join(str(code) for code in info.encodings), file=out)
+    return 0
+
+
+def cmd_devices(client: AudioClient, args, out) -> int:
+    for device in client.device_loud():
+        extras = ""
+        number = device.attributes.get("phone-number")
+        if number is not None:
+            extras = "  number=%s" % number
+        if device.hard_wired_to:
+            extras += "  hard-wired-to=%s" % ",".join(
+                str(other) for other in device.hard_wired_to)
+        print("#%-3d %-10s %-20s domain=%s%s"
+              % (device.device_id, device.device_class.name, device.name,
+                 device.attributes.get("ambient-domain", "?"), extras),
+              file=out)
+    return 0
+
+
+def cmd_domains(client: AudioClient, args, out) -> int:
+    for name, device_ids in sorted(client.ambient_domains().items()):
+        print("%-12s devices: %s"
+              % (name, ", ".join(str(dev) for dev in device_ids)),
+              file=out)
+    return 0
+
+
+def cmd_catalogue(client: AudioClient, args, out) -> int:
+    for name in client.list_catalogue(args.name):
+        print(name, file=out)
+    return 0
+
+
+def _play_sound(client: AudioClient, sound, out) -> int:
+    loud = client.create_loud()
+    player = loud.create_device(DeviceClass.PLAYER)
+    output = loud.create_device(DeviceClass.OUTPUT)
+    loud.wire(player, 0, output, 0)
+    loud.select_events(EventMask.QUEUE)
+    loud.map()
+    player.play(sound)
+    loud.start_queue()
+    done = client.wait_for_event(
+        lambda event: event.code is EventCode.COMMAND_DONE, timeout=300)
+    if done is None:
+        print("playback did not complete", file=out)
+        return 1
+    info = sound.query()
+    print("played %d frames (%.1f s)"
+          % (info.frame_length,
+             info.frame_length / info.sound_type.samplerate), file=out)
+    return 0
+
+
+def cmd_play(client: AudioClient, args, out) -> int:
+    sound = client.load_sound(args.sound_name, args.catalogue)
+    return _play_sound(client, sound, out)
+
+
+def cmd_play_file(client: AudioClient, args, out) -> int:
+    data, sound_type, _annotation = read_au(args.path)
+    sound = client.create_sound(sound_type)
+    sound.write(data)
+    return _play_sound(client, sound, out)
+
+
+def cmd_say(client: AudioClient, args, out) -> int:
+    text = " ".join(args.text)
+    loud = client.create_loud()
+    synthesizer = loud.create_device(DeviceClass.SYNTHESIZER)
+    output = loud.create_device(DeviceClass.OUTPUT)
+    loud.wire(synthesizer, 0, output, 0)
+    loud.select_events(EventMask.QUEUE)
+    loud.map()
+    synthesizer.speak_text(text)
+    loud.start_queue()
+    done = client.wait_for_event(
+        lambda event: event.code is EventCode.COMMAND_DONE, timeout=300)
+    print("spoke %r" % text if done is not None else "synthesis failed",
+          file=out)
+    return 0 if done is not None else 1
+
+
+def cmd_dial(client: AudioClient, args, out) -> int:
+    loud = client.create_loud()
+    telephone = loud.create_device(DeviceClass.TELEPHONE)
+    loud.select_events(EventMask.QUEUE | EventMask.TELEPHONE)
+    loud.map()
+    telephone.dial(args.number)
+    loud.start_queue()
+    event = client.wait_for_event(
+        lambda e: (e.code is EventCode.CALL_PROGRESS
+                   and e.detail in (int(CallProgress.CONNECTED),
+                                    int(CallProgress.BUSY),
+                                    int(CallProgress.FAILED))),
+        timeout=args.timeout)
+    if event is None:
+        print("no answer within %.0f s" % args.timeout, file=out)
+        return 1
+    progress = CallProgress(event.detail)
+    print("call %s" % progress.name.lower(), file=out)
+    if progress is CallProgress.CONNECTED:
+        from ..protocol.types import Command, CommandMode
+
+        telephone.issue(Command.HANG_UP, CommandMode.IMMEDIATE)
+        print("hung up", file=out)
+        return 0
+    return 1
+
+
+def cmd_monitor(client: AudioClient, args, out) -> int:
+    for device in client.device_loud():
+        client.select_events(device.device_id, EventMask.DEVICE_STATE)
+    client.sync()
+    print("monitoring device events for %.0f s..." % args.seconds,
+          file=out)
+    deadline = time.monotonic() + args.seconds
+    count = 0
+    while time.monotonic() < deadline:
+        event = client.next_event(timeout=deadline - time.monotonic())
+        if event is None:
+            break
+        if event.code is EventCode.DEVICE_STATE:
+            print("device #%d -> %s  %s"
+                  % (event.resource, DeviceState(event.detail).name,
+                     dict(event.args.items)), file=out)
+            count += 1
+    print("%d event(s)" % count, file=out)
+    return 0
+
+
+_HANDLERS = {
+    "info": cmd_info,
+    "devices": cmd_devices,
+    "domains": cmd_domains,
+    "catalogue": cmd_catalogue,
+    "play": cmd_play,
+    "play-file": cmd_play_file,
+    "say": cmd_say,
+    "dial": cmd_dial,
+    "monitor": cmd_monitor,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        client = AudioClient(args.host, args.port,
+                             client_name="repro-audio-control")
+    except OSError as exc:
+        print("cannot connect to %s:%d: %s"
+              % (args.host, args.port, exc), file=out)
+        return 2
+    try:
+        return _HANDLERS[args.command](client, args, out)
+    finally:
+        client.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""The Alib connection: transport, replies, events, errors.
+
+"Requests are asynchronous, so that an application can send requests
+without waiting for the completion of previous requests.  Some requests
+do have return values ... which the server handles by generating a reply
+which is then sent back to the application.  The client-side library
+implementation can block on these requests or handle them
+asynchronously.  Blocking on a request with a reply is tantamount to
+synchronizing with the server."  (paper section 4.1)
+
+A background reader thread demultiplexes the inbound stream: replies are
+matched to waiting round-trips by sequence number, events land in the
+event queue, and errors either wake the matching round-trip or collect
+in :attr:`errors` (they are asynchronous, after all).
+"""
+
+from __future__ import annotations
+
+import collections
+import socket
+import threading
+import time
+
+from ..protocol.errors import ProtocolError
+from ..protocol.events import Event
+from ..protocol.requests import Reply, Request
+from ..protocol.setup import SetupReply, SetupRequest
+from ..protocol.types import DEFAULT_PORT
+from ..protocol.wire import (
+    ConnectionClosed,
+    Message,
+    MessageKind,
+    read_message,
+    write_message,
+)
+
+
+class ConnectionError_(Exception):
+    """The connection to the audio server was refused or lost."""
+
+
+class AudioConnection:
+    """One client connection to an audio server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 client_name: str = "") -> None:
+        self.sock = socket.create_connection((host, port), timeout=10.0)
+        self.sock.settimeout(None)
+        self.sock.sendall(SetupRequest(client_name=client_name).encode())
+        reply = SetupReply.read_from(self.sock)
+        if not reply.accepted:
+            self.sock.close()
+            raise ConnectionError_("server refused connection: %s"
+                                   % reply.reason)
+        self.id_base = reply.id_base
+        self.id_mask = reply.id_mask
+        self.vendor = reply.vendor
+        self._next_id = reply.id_base
+        self._sequence = 0
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._wakeup = threading.Condition(self._state_lock)
+        self._waiting: dict[int, object] = {}       # seq -> slot
+        self._events: collections.deque[Event] = collections.deque()
+        #: Errors for requests nobody was blocking on.
+        self.errors: list[ProtocolError] = []
+        self.on_error = None        # optional callback(ProtocolError)
+        self.closed = False
+        self._reader = threading.Thread(target=self._read_loop,
+                                        name="alib-reader", daemon=True)
+        self._reader.start()
+
+    # -- ids and requests ---------------------------------------------------------
+
+    def alloc_id(self) -> int:
+        """Allocate a fresh resource id from the granted range."""
+        with self._state_lock:
+            allocated = self._next_id
+            self._next_id += 1
+            if allocated > self.id_base + self.id_mask:
+                raise ConnectionError_("resource id range exhausted")
+            return allocated
+
+    def send(self, request: Request) -> int:
+        """Send one asynchronous request; returns its sequence number."""
+        payload = request.encode()
+        with self._send_lock:
+            if self.closed:
+                raise ConnectionError_("connection is closed")
+            self._sequence = (self._sequence + 1) & 0xFFFF
+            sequence = self._sequence
+            message = Message(MessageKind.REQUEST, int(request.OPCODE),
+                              sequence, payload)
+            try:
+                write_message(self.sock, message)
+            except OSError as exc:
+                raise ConnectionError_("send failed: %s" % exc) from exc
+        return sequence
+
+    def round_trip(self, request: Request, timeout: float = 10.0) -> Reply:
+        """Send a request with a reply and block for it.
+
+        Raises the matching :class:`ProtocolError` if the server errors
+        this request.
+        """
+        if request.REPLY is None:
+            raise ValueError("request %s has no reply"
+                             % type(request).__name__)
+        slot = _ReplySlot()
+        with self._send_lock:
+            if self.closed:
+                raise ConnectionError_("connection is closed")
+            self._sequence = (self._sequence + 1) & 0xFFFF
+            sequence = self._sequence
+            with self._state_lock:
+                self._waiting[sequence] = slot
+            message = Message(MessageKind.REQUEST, int(request.OPCODE),
+                              sequence, request.encode())
+            try:
+                write_message(self.sock, message)
+            except OSError as exc:
+                raise ConnectionError_("send failed: %s" % exc) from exc
+        if not slot.done.wait(timeout):
+            with self._state_lock:
+                self._waiting.pop(sequence, None)
+            raise TimeoutError("no reply to %s within %.1fs"
+                               % (type(request).__name__, timeout))
+        if slot.error is not None:
+            raise slot.error
+        if slot.message is None:
+            raise ConnectionError_("connection closed awaiting reply")
+        from ..protocol.wire import Reader
+
+        return request.REPLY.read_payload(Reader(slot.message.payload))
+
+    def sync(self, timeout: float = 10.0) -> None:
+        """Round-trip to the server: all prior requests are processed.
+
+        Any asynchronous errors they generated are in :attr:`errors`
+        afterwards.
+        """
+        from ..protocol.requests import GetTime
+
+        self.round_trip(GetTime(), timeout=timeout)
+
+    # -- events ----------------------------------------------------------------------
+
+    def pending_events(self) -> list[Event]:
+        """Drain the event queue without blocking."""
+        with self._state_lock:
+            drained = list(self._events)
+            self._events.clear()
+        return drained
+
+    def next_event(self, timeout: float | None = None) -> Event | None:
+        """Block for the next event (None on timeout or close)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._wakeup:
+            while not self._events:
+                if self.closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._wakeup.wait(remaining)
+            return self._events.popleft()
+
+    def wait_for_event(self, predicate, timeout: float = 10.0,
+                       discard_others: bool = False) -> Event | None:
+        """Block until an event satisfying ``predicate`` arrives.
+
+        Non-matching events stay queued (or are dropped when
+        ``discard_others``).  Returns None on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        kept: list[Event] = []
+        try:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                event = self.next_event(timeout=remaining)
+                if event is None:
+                    return None
+                if predicate(event):
+                    return event
+                if not discard_others:
+                    kept.append(event)
+        finally:
+            if kept:
+                with self._wakeup:
+                    self._events.extendleft(reversed(kept))
+                    self._wakeup.notify_all()
+
+    # -- the reader thread ---------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while not self.closed:
+                try:
+                    message = read_message(self.sock)
+                except (ConnectionClosed, OSError):
+                    break
+                self._handle_message(message)
+        finally:
+            with self._wakeup:
+                self.closed = True
+                for slot in self._waiting.values():
+                    slot.done.set()
+                self._waiting.clear()
+                self._wakeup.notify_all()
+
+    def _handle_message(self, message: Message) -> None:
+        if message.kind is MessageKind.REPLY:
+            with self._state_lock:
+                slot = self._waiting.pop(message.sequence, None)
+            if slot is not None:
+                slot.message = message
+                slot.done.set()
+            return
+        if message.kind is MessageKind.ERROR:
+            error = ProtocolError.decode(message)
+            with self._state_lock:
+                slot = self._waiting.pop(message.sequence, None)
+            if slot is not None:
+                slot.error = error
+                slot.done.set()
+                return
+            if self.on_error is not None:
+                self.on_error(error)
+            else:
+                self.errors.append(error)
+            return
+        if message.kind is MessageKind.EVENT:
+            event = Event.decode(message)
+            with self._wakeup:
+                self._events.append(event)
+                self._wakeup.notify_all()
+
+    # -- teardown ------------------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        with self._wakeup:
+            self._wakeup.notify_all()
+
+    def __enter__(self) -> "AudioConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _ReplySlot:
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.message: Message | None = None
+        self.error: ProtocolError | None = None

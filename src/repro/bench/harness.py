@@ -1,0 +1,145 @@
+"""Benchmark harness: server/client rigs and measurement helpers.
+
+Each experiment in EXPERIMENTS.md builds on these pieces: a one-call
+server+client rig, playback-LOUD builders, CPU and wall-clock meters,
+and capture analysis (gap counting, signal location).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..alib.api import AudioClient, DeviceHandle, LoudHandle
+from ..hardware.config import HardwareConfig
+from ..protocol.types import DeviceClass, EventCode, EventMask, SoundType
+from ..server.core import AudioServer
+
+
+@dataclass
+class Rig:
+    """A running server plus one connected client."""
+
+    server: AudioServer
+    client: AudioClient
+    extra_clients: list[AudioClient] = field(default_factory=list)
+
+    def new_client(self, name: str = "bench") -> AudioClient:
+        client = AudioClient(port=self.server.port, client_name=name)
+        self.extra_clients.append(client)
+        return client
+
+    def close(self) -> None:
+        for client in self.extra_clients:
+            client.close()
+        self.client.close()
+        self.server.stop()
+
+    def __enter__(self) -> "Rig":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def make_rig(sample_rate: int = 8000, block_frames: int = 160,
+             realtime: bool = False) -> Rig:
+    config = HardwareConfig(sample_rate=sample_rate,
+                            block_frames=block_frames)
+    server = AudioServer(config, realtime=realtime)
+    server.start()
+    client = AudioClient(port=server.port, client_name="bench")
+    return Rig(server, client)
+
+
+def build_playback_loud(client: AudioClient,
+                        select: EventMask = EventMask.QUEUE
+                        ) -> tuple[LoudHandle, DeviceHandle, DeviceHandle]:
+    """player -> output, mapped, queue events selected."""
+    loud = client.create_loud()
+    player = loud.create_device(DeviceClass.PLAYER)
+    output = loud.create_device(DeviceClass.OUTPUT)
+    loud.wire(player, 0, output, 0)
+    loud.select_events(select)
+    loud.map()
+    return loud, player, output
+
+
+def wait_queue_empty(client: AudioClient, loud: LoudHandle,
+                     timeout: float = 120.0) -> None:
+    event = client.wait_for_event(
+        lambda e: (e.code is EventCode.QUEUE_EMPTY
+                   and e.resource == loud.loud_id), timeout=timeout)
+    if event is None:
+        raise TimeoutError("queue did not drain within %.0fs" % timeout)
+
+
+def find_signal(buffer: np.ndarray, reference: np.ndarray) -> int | None:
+    """Locate an exact copy of ``reference`` inside ``buffer``."""
+    if len(reference) == 0 or len(buffer) < len(reference):
+        return None
+    nonzero = np.nonzero(reference)[0]
+    if len(nonzero) == 0:
+        return None
+    anchor = int(nonzero[0])
+    candidates = np.nonzero(buffer == reference[anchor])[0]
+    for start in candidates:
+        begin = int(start) - anchor
+        if begin < 0 or begin + len(reference) > len(buffer):
+            continue
+        if np.array_equal(buffer[begin:begin + len(reference)], reference):
+            return begin
+    return None
+
+
+def count_gap_samples(buffer: np.ndarray, pieces: list[np.ndarray]) -> int:
+    """Samples dropped or inserted between consecutive pieces.
+
+    Locates each piece in the output and sums the distance between each
+    piece's end and the next piece's start (0 = perfectly gapless).
+    Returns -1 if any piece is missing entirely.
+    """
+    positions = []
+    for piece in pieces:
+        start = find_signal(buffer, piece)
+        if start is None:
+            return -1
+        positions.append((start, start + len(piece)))
+    gaps = 0
+    for (_, end), (next_start, _) in zip(positions, positions[1:]):
+        gaps += abs(next_start - end)
+    return gaps
+
+
+class CpuMeter:
+    """Process CPU time and audio time over a measured region."""
+
+    def __init__(self, server: AudioServer) -> None:
+        self.server = server
+        self._cpu_start = 0.0
+        self._audio_start = 0
+        self._wall_start = 0.0
+        self.cpu_seconds = 0.0
+        self.audio_seconds = 0.0
+        self.wall_seconds = 0.0
+
+    def __enter__(self) -> "CpuMeter":
+        self._cpu_start = time.process_time()
+        self._wall_start = time.monotonic()
+        self._audio_start = self.server.hub.clock.sample_time
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cpu_seconds = time.process_time() - self._cpu_start
+        self.wall_seconds = time.monotonic() - self._wall_start
+        audio_frames = self.server.hub.clock.sample_time - self._audio_start
+        self.audio_seconds = audio_frames / self.server.hub.sample_rate
+
+    @property
+    def utilization(self) -> float:
+        """CPU seconds per second of audio produced (the paper's <10%)."""
+        if self.audio_seconds == 0:
+            return float("inf")
+        return self.cpu_seconds / self.audio_seconds

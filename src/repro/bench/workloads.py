@@ -1,0 +1,39 @@
+"""Workload generators for the benchmark harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsp import tones
+from ..protocol.types import SoundType
+
+
+def marked_segments(count: int, frames_each: int,
+                    base_level: int = 1000) -> list[np.ndarray]:
+    """Distinct constant-level segments, identifiable in captures."""
+    return [np.full(frames_each, base_level * (index + 1), dtype=np.int16)
+            for index in range(count)]
+
+
+def speech_like(seconds: float, rate: int, seed: int = 0) -> np.ndarray:
+    """A speech-shaped workload: bursts of band-limited noise.
+
+    Roughly the spectral/energy texture of telephone speech without the
+    cost of full synthesis, for throughput workloads.
+    """
+    generator = np.random.default_rng(seed)
+    total = int(seconds * rate)
+    out = np.zeros(total, dtype=np.float64)
+    position = 0
+    while position < total:
+        burst = int(generator.uniform(0.1, 0.4) * rate)
+        gap = int(generator.uniform(0.05, 0.2) * rate)
+        end = min(position + burst, total)
+        out[position:end] = generator.normal(0.0, 4000.0, end - position)
+        position = end + gap
+    return np.clip(out, -32768, 32767).astype(np.int16)
+
+
+def tone_seconds(seconds: float, rate: int,
+                 frequency: float = 440.0) -> np.ndarray:
+    return tones.sine(frequency, seconds, rate)

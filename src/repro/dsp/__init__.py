@@ -1,0 +1,13 @@
+"""Signal-processing substrate: codecs, tones, DTMF, TTS, ASR, music.
+
+Everything the 1991 hardware did on DSP chips, in software -- exactly the
+trajectory the paper predicts ("many speech processing techniques which
+have traditionally been implemented on DSPs are now within the
+capabilities of general purpose microprocessors").
+"""
+
+from .encodings import decode, encode
+from .mixing import apply_gain, mix, peak, rms, saturate
+
+__all__ = ["apply_gain", "decode", "encode", "mix", "peak", "rms",
+           "saturate"]

@@ -1,0 +1,55 @@
+"""Automatic gain control.
+
+The paper lists "whether the recorder supports automatic gain control
+(AGC) during recording" among recorder attributes (section 5.1); our
+recorder device applies this block-based AGC when the attribute is set.
+
+Classic feed-forward design: track a smoothed RMS estimate and steer the
+gain toward a target level, with separate attack and release rates and a
+hard gain ceiling so silence is not amplified into noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mixing import saturate
+
+
+class AutomaticGainControl:
+    """Block-based AGC with attack/release smoothing."""
+
+    def __init__(self, rate: int, target_rms: float = 8000.0,
+                 max_gain: float = 8.0, attack: float = 0.5,
+                 release: float = 0.05,
+                 noise_floor: float = 100.0) -> None:
+        self.rate = rate
+        self.target_rms = target_rms
+        self.max_gain = max_gain
+        self.attack = attack      # smoothing when gain must drop (fast)
+        self.release = release    # smoothing when gain may rise (slow)
+        self.noise_floor = noise_floor
+        self._gain = 1.0
+
+    @property
+    def gain(self) -> float:
+        """The currently applied gain (for tests and metering)."""
+        return self._gain
+
+    def process(self, samples: np.ndarray) -> np.ndarray:
+        """Apply AGC to one block, updating internal state."""
+        block = np.asarray(samples, dtype=np.float64)
+        if len(block) == 0:
+            return np.zeros(0, dtype=np.int16)
+        level = float(np.sqrt(np.mean(block * block)))
+        if level <= self.noise_floor:
+            # Hold the gain during silence rather than pumping it up.
+            desired = self._gain
+        else:
+            desired = min(self.target_rms / level, self.max_gain)
+        rate = self.attack if desired < self._gain else self.release
+        self._gain += (desired - self._gain) * rate
+        return saturate(np.round(block * self._gain).astype(np.int64))
+
+    def reset(self) -> None:
+        self._gain = 1.0

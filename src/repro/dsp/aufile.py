@@ -1,0 +1,97 @@
+"""Sun/NeXT ``.au`` audio file reading and writing.
+
+"Most sound data will be stored in files" (paper section 5.6).  The
+period-appropriate container is the Sun ``.au`` / ``.snd`` format: a
+big-endian header (magic ``.snd``) followed by raw audio data.  Server
+catalogues are directories of ``.au`` files.
+
+Supported encodings map one-to-one onto our sound types: 8-bit mu-law,
+8-bit A-law and 16-bit linear PCM (big-endian in the file, per the
+format; converted at the boundary).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from ..protocol.types import Encoding, SoundType
+
+MAGIC = 0x2E736E64  # ".snd"
+HEADER = struct.Struct(">IIIII")
+
+#: .au encoding field values.
+AU_MULAW = 1
+AU_PCM16 = 3
+AU_ALAW = 27
+
+_AU_FROM_ENCODING = {
+    Encoding.MULAW: AU_MULAW,
+    Encoding.PCM16: AU_PCM16,
+    Encoding.ALAW: AU_ALAW,
+}
+_ENCODING_FROM_AU = {value: key for key, value in _AU_FROM_ENCODING.items()}
+
+
+class AuFileError(Exception):
+    """The file is not a readable .au file."""
+
+
+def write_au(path: str | os.PathLike, data: bytes,
+             sound_type: SoundType, annotation: str = "") -> None:
+    """Write stored sound bytes to an .au file.
+
+    ``data`` is in our storage format (mu-law/A-law bytes, or little-
+    endian PCM16, which is byte-swapped into the file's big-endian form).
+    """
+    try:
+        au_encoding = _AU_FROM_ENCODING[sound_type.encoding]
+    except KeyError:
+        raise AuFileError(
+            ".au cannot store %s" % sound_type.encoding.name) from None
+    if sound_type.encoding is Encoding.PCM16:
+        body = np.frombuffer(data, dtype="<i2").astype(">i2").tobytes()
+    else:
+        body = bytes(data)
+    note = annotation.encode("utf-8") + b"\0"
+    # Pad the annotation so the data offset stays 4-byte aligned.
+    note += b"\0" * (-len(note) % 4)
+    header = HEADER.pack(MAGIC, HEADER.size + len(note), len(body),
+                         au_encoding, sound_type.samplerate)
+    with open(path, "wb") as stream:
+        stream.write(header)
+        stream.write(note)
+        stream.write(body)
+
+
+def read_au(path: str | os.PathLike) -> tuple[bytes, SoundType, str]:
+    """Read an .au file; returns (stored bytes, sound type, annotation)."""
+    with open(path, "rb") as stream:
+        raw = stream.read()
+    if len(raw) < HEADER.size:
+        raise AuFileError("file too short for an .au header")
+    magic, data_offset, data_size, au_encoding, rate = HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise AuFileError("bad .au magic 0x%08x" % magic)
+    if data_offset < HEADER.size or data_offset > len(raw):
+        raise AuFileError("bad .au data offset %d" % data_offset)
+    try:
+        encoding = _ENCODING_FROM_AU[au_encoding]
+    except KeyError:
+        raise AuFileError(
+            "unsupported .au encoding %d" % au_encoding) from None
+    annotation = raw[HEADER.size:data_offset].split(b"\0", 1)[0]
+    if data_size == 0xFFFFFFFF:     # "unknown size" convention
+        body = raw[data_offset:]
+    else:
+        body = raw[data_offset:data_offset + data_size]
+    if encoding is Encoding.PCM16:
+        usable = len(body) - (len(body) % 2)
+        body = np.frombuffer(body[:usable], dtype=">i2").astype("<i2").tobytes()
+        samplesize = 16
+    else:
+        samplesize = 8
+    sound_type = SoundType(encoding, samplesize, rate)
+    return body, sound_type, annotation.decode("utf-8", "replace")

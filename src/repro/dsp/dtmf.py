@@ -1,0 +1,140 @@
+"""DTMF (touch-tone) generation and detection.
+
+Touch tones carry the protocol's SendDTMF command across the simulated
+telephone network, and the detector behind DTMF_NOTIFY events lets
+telephone-based applications ("dial by name", touch-tone menus) see the
+caller's key presses.
+
+Generation produces the standard dual-tone pairs; detection runs a
+Goertzel bank over fixed analysis frames with the usual guards (row/column
+dominance, twist limit, minimum duration) and de-duplicates held digits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .goertzel import goertzel_powers
+from .tones import dual_tone, silence
+
+#: Row and column frequencies of the 4x4 DTMF keypad.
+ROW_FREQUENCIES = (697.0, 770.0, 852.0, 941.0)
+COLUMN_FREQUENCIES = (1209.0, 1336.0, 1477.0, 1633.0)
+
+_KEYPAD = (
+    ("1", "2", "3", "A"),
+    ("4", "5", "6", "B"),
+    ("7", "8", "9", "C"),
+    ("*", "0", "#", "D"),
+)
+
+DIGITS = frozenset(digit for row in _KEYPAD for digit in row)
+
+_DIGIT_TO_PAIR = {
+    _KEYPAD[row][col]: (ROW_FREQUENCIES[row], COLUMN_FREQUENCIES[col])
+    for row in range(4) for col in range(4)
+}
+
+
+def digit_frequencies(digit: str) -> tuple[float, float]:
+    """The (row, column) frequency pair of one keypad digit."""
+    try:
+        return _DIGIT_TO_PAIR[digit.upper()]
+    except KeyError:
+        raise ValueError("not a DTMF digit: %r" % digit) from None
+
+
+def generate_digit(digit: str, rate: int, duration: float = 0.08,
+                   amplitude: int = 12000) -> np.ndarray:
+    """Samples of one touch tone."""
+    row, column = digit_frequencies(digit)
+    return dual_tone(row, column, duration, rate, amplitude)
+
+
+def generate_digits(digits: str, rate: int, tone_duration: float = 0.08,
+                    gap_duration: float = 0.08,
+                    amplitude: int = 12000) -> np.ndarray:
+    """Samples of a digit string with inter-digit gaps."""
+    parts: list[np.ndarray] = []
+    for digit in digits:
+        parts.append(generate_digit(digit, rate, tone_duration, amplitude))
+        parts.append(silence(gap_duration, rate))
+    if not parts:
+        return np.zeros(0, dtype=np.int16)
+    return np.concatenate(parts)
+
+
+class DtmfDetector:
+    """Streaming DTMF detector.
+
+    Feed arbitrary sample blocks; collect the digits detected so far.
+    A digit is reported once when first confirmed (two consecutive
+    agreeing analysis frames) and not again until a non-digit frame
+    separates it from the next press.
+    """
+
+    #: Analysis frame length in milliseconds; 13 ms frames need two
+    #: agreeing frames, comfortably inside a 40 ms minimum tone.
+    FRAME_MS = 13
+
+    def __init__(self, rate: int, threshold: float = 1.0e4,
+                 confirm_frames: int = 2) -> None:
+        self.rate = rate
+        self.threshold = threshold
+        self.confirm_frames = confirm_frames
+        self._frame_length = max(1, rate * self.FRAME_MS // 1000)
+        self._pending = np.zeros(0, dtype=np.int16)
+        self._candidate: str | None = None
+        self._candidate_count = 0
+        self._reported: str | None = None
+
+    def feed(self, samples: np.ndarray) -> list[str]:
+        """Process a block; return digits newly confirmed within it."""
+        self._pending = np.concatenate(
+            [self._pending, np.asarray(samples, dtype=np.int16)])
+        detected: list[str] = []
+        while len(self._pending) >= self._frame_length:
+            frame = self._pending[:self._frame_length]
+            self._pending = self._pending[self._frame_length:]
+            digit = self._classify(frame)
+            if digit is None:
+                self._candidate = None
+                self._candidate_count = 0
+                self._reported = None
+                continue
+            if digit == self._candidate:
+                self._candidate_count += 1
+            else:
+                self._candidate = digit
+                self._candidate_count = 1
+            confirmed = self._candidate_count >= self.confirm_frames
+            if confirmed and digit != self._reported:
+                self._reported = digit
+                detected.append(digit)
+        return detected
+
+    def _classify(self, frame: np.ndarray) -> str | None:
+        """Classify one analysis frame as a digit or silence/speech."""
+        frequencies = list(ROW_FREQUENCIES) + list(COLUMN_FREQUENCIES)
+        powers = goertzel_powers(frame, frequencies, self.rate)
+        row_powers = powers[:4]
+        column_powers = powers[4:]
+        row_index = int(np.argmax(row_powers))
+        column_index = int(np.argmax(column_powers))
+        row_power = row_powers[row_index]
+        column_power = column_powers[column_index]
+        if row_power < self.threshold or column_power < self.threshold:
+            return None
+        # Twist guard: the two tones must be within ~8 dB of each other.
+        stronger = max(row_power, column_power)
+        weaker = min(row_power, column_power)
+        if weaker == 0.0 or stronger / weaker > 6.3:
+            return None
+        # Dominance guard: next-strongest row/column must be well below.
+        for powers_group, best_index in ((row_powers, row_index),
+                                         (column_powers, column_index)):
+            rest = [value for position, value in enumerate(powers_group)
+                    if position != best_index]
+            if rest and max(rest) > 0.3 * powers_group[best_index]:
+                return None
+        return _KEYPAD[row_index][column_index]

@@ -1,0 +1,70 @@
+"""Mixing and gain arithmetic.
+
+"Mixers take data on multiple inputs, combine the streams and then
+present the combined data on one or more output ports.  The relative
+combination is determined by a percentage assigned to each input."
+(paper section 5.1)
+
+All arithmetic is done in int32 and saturated back to int16, so two
+full-scale inputs clip rather than wrap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+INT16_MIN = -32768
+INT16_MAX = 32767
+
+
+def saturate(samples: np.ndarray) -> np.ndarray:
+    """Clamp a wider-than-int16 array into int16 range."""
+    return np.clip(samples, INT16_MIN, INT16_MAX).astype(np.int16)
+
+
+def apply_gain(samples: np.ndarray, gain: float) -> np.ndarray:
+    """Scale samples by a linear gain factor with saturation.
+
+    ``gain`` of 1.0 is unity; the protocol's ChangeGain percentages map
+    via ``percent / 100``.
+    """
+    if gain == 1.0:
+        return np.asarray(samples, dtype=np.int16)
+    scaled = np.asarray(samples, dtype=np.float64) * gain
+    return saturate(np.round(scaled).astype(np.int64))
+
+
+def mix(blocks: list[np.ndarray], gains: list[float] | None = None,
+        length: int | None = None) -> np.ndarray:
+    """Sum blocks (optionally gain-weighted) into one saturated block.
+
+    Short blocks are treated as silence-padded: the output length is the
+    longest input (or ``length`` if given), which is what a speaker does
+    when one stream ends mid-block.
+    """
+    if length is None:
+        length = max((len(block) for block in blocks), default=0)
+    accumulator = np.zeros(length, dtype=np.float64)
+    for position, block in enumerate(blocks):
+        gain = 1.0 if gains is None else gains[position]
+        if gain == 0.0 or len(block) == 0:
+            continue
+        usable = min(len(block), length)
+        accumulator[:usable] += (
+            np.asarray(block[:usable], dtype=np.float64) * gain)
+    return saturate(np.round(accumulator).astype(np.int64))
+
+
+def rms(samples: np.ndarray) -> float:
+    """Root-mean-square level of a block (0.0 for an empty block)."""
+    if len(samples) == 0:
+        return 0.0
+    values = np.asarray(samples, dtype=np.float64)
+    return float(np.sqrt(np.mean(values * values)))
+
+
+def peak(samples: np.ndarray) -> int:
+    """Peak absolute sample value of a block."""
+    if len(samples) == 0:
+        return 0
+    return int(np.max(np.abs(np.asarray(samples, dtype=np.int32))))

@@ -1,0 +1,170 @@
+"""Note-based music synthesis.
+
+"Music Synthesizers process note-based audio.  They accept commands, and
+produce audio data on their single output.  The commands SetState and
+SetVoice control music generation parameters.  Note makes a sound."
+(paper section 5.1)
+
+A small subtractive-ish synth: waveform oscillators (sine, square,
+triangle, sawtooth) with an ADSR envelope, MIDI-style note numbers, and a
+per-voice state block that SetVoice/SetState manipulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mixing import saturate
+
+WAVEFORMS = ("sine", "square", "triangle", "sawtooth")
+
+#: MIDI note number of A4 = 440 Hz.
+_A4_NUMBER = 69
+_A4_HZ = 440.0
+
+
+def note_frequency(note_number: int) -> float:
+    """Equal-tempered frequency of a MIDI note number."""
+    return _A4_HZ * 2.0 ** ((note_number - _A4_NUMBER) / 12.0)
+
+
+def note_number(name: str) -> int:
+    """MIDI number of a note name like ``"C4"``, ``"F#3"``, ``"Bb5"``."""
+    semitones = {"C": 0, "D": 2, "E": 4, "F": 5, "G": 7, "A": 9, "B": 11}
+    name = name.strip()
+    if len(name) < 2:
+        raise ValueError("bad note name %r" % name)
+    letter = name[0].upper()
+    if letter not in semitones:
+        raise ValueError("bad note name %r" % name)
+    rest = name[1:]
+    offset = 0
+    if rest[0] == "#":
+        offset = 1
+        rest = rest[1:]
+    elif rest[0].lower() == "b":
+        offset = -1
+        rest = rest[1:]
+    try:
+        octave = int(rest)
+    except ValueError:
+        raise ValueError("bad note name %r" % name) from None
+    return (octave + 1) * 12 + semitones[letter] + offset
+
+
+@dataclass
+class Adsr:
+    """Attack / decay / sustain / release envelope, times in seconds."""
+
+    attack: float = 0.01
+    decay: float = 0.05
+    sustain: float = 0.7    # level, 0..1
+    release: float = 0.05
+
+    def render(self, duration: float, rate: int) -> np.ndarray:
+        total = max(1, int(round((duration + self.release) * rate)))
+        attack_n = min(total, max(1, int(self.attack * rate)))
+        decay_n = min(total - attack_n, max(0, int(self.decay * rate)))
+        release_n = min(total - attack_n - decay_n,
+                        max(1, int(self.release * rate)))
+        sustain_n = max(0, total - attack_n - decay_n - release_n)
+        pieces = [np.linspace(0.0, 1.0, attack_n, endpoint=False)]
+        if decay_n:
+            pieces.append(np.linspace(1.0, self.sustain, decay_n,
+                                      endpoint=False))
+        if sustain_n:
+            pieces.append(np.full(sustain_n, self.sustain))
+        pieces.append(np.linspace(self.sustain, 0.0, release_n))
+        envelope = np.concatenate(pieces)
+        return envelope[:total]
+
+
+@dataclass
+class Voice:
+    """One voice's generation parameters (the SetVoice target)."""
+
+    waveform: str = "sine"
+    envelope: Adsr = None   # type: ignore[assignment]
+    detune_cents: float = 0.0
+    volume: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.envelope is None:
+            self.envelope = Adsr()
+        if self.waveform not in WAVEFORMS:
+            raise ValueError("unknown waveform %r" % self.waveform)
+
+
+def _oscillate(waveform: str, frequency: float, count: int,
+               rate: int) -> np.ndarray:
+    phase = (np.arange(count) * frequency / rate) % 1.0
+    if waveform == "sine":
+        return np.sin(2.0 * np.pi * phase)
+    if waveform == "square":
+        return np.where(phase < 0.5, 1.0, -1.0)
+    if waveform == "triangle":
+        return 4.0 * np.abs(phase - 0.5) - 1.0
+    if waveform == "sawtooth":
+        return 2.0 * phase - 1.0
+    raise ValueError("unknown waveform %r" % waveform)
+
+
+class MusicSynthesizer:
+    """Renders notes with the current voice; the music device's engine."""
+
+    def __init__(self, rate: int = 8000) -> None:
+        self.rate = rate
+        self.voice = Voice()
+        self.tempo_bpm = 120.0
+
+    def set_voice(self, **kwargs) -> None:
+        """Update voice parameters (waveform, volume, detune_cents, adsr)."""
+        adsr_keys = {"attack", "decay", "sustain", "release"}
+        envelope_updates = {key: kwargs.pop(key)
+                            for key in list(kwargs) if key in adsr_keys}
+        for key, value in kwargs.items():
+            if not hasattr(self.voice, key):
+                raise ValueError("unknown voice parameter %r" % key)
+            setattr(self.voice, key, value)
+        if self.voice.waveform not in WAVEFORMS:
+            raise ValueError("unknown waveform %r" % self.voice.waveform)
+        for key, value in envelope_updates.items():
+            setattr(self.voice.envelope, key, value)
+
+    def set_state(self, tempo_bpm: float | None = None) -> None:
+        if tempo_bpm is not None:
+            if tempo_bpm <= 0:
+                raise ValueError("tempo must be positive")
+            self.tempo_bpm = tempo_bpm
+
+    def render_note(self, note: int | str, beats: float = 1.0) -> np.ndarray:
+        """Render one note for ``beats`` beats at the current tempo."""
+        if isinstance(note, str):
+            note = note_number(note)
+        duration = beats * 60.0 / self.tempo_bpm
+        frequency = note_frequency(note)
+        frequency *= 2.0 ** (self.voice.detune_cents / 1200.0)
+        envelope = self.voice.envelope.render(duration, self.rate)
+        wave = _oscillate(self.voice.waveform, frequency, len(envelope),
+                          self.rate)
+        scaled = wave * envelope * self.voice.volume * 32767.0
+        return saturate(np.round(scaled).astype(np.int64))
+
+    def render_rest(self, beats: float = 1.0) -> np.ndarray:
+        duration = beats * 60.0 / self.tempo_bpm
+        return np.zeros(int(round(duration * self.rate)), dtype=np.int16)
+
+    def render_melody(self, notes: list[tuple[int | str, float]]
+                      ) -> np.ndarray:
+        """Render ``[(note, beats), ...]``; note of ``None`` is a rest."""
+        pieces = []
+        for note, beats in notes:
+            if note is None:
+                pieces.append(self.render_rest(beats))
+            else:
+                pieces.append(self.render_note(note, beats))
+        if not pieces:
+            return np.zeros(0, dtype=np.int16)
+        return np.concatenate(pieces)

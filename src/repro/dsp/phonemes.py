@@ -1,0 +1,241 @@
+"""Phoneme inventory and letter-to-sound rules.
+
+Text-to-speech "is usually broken into two processing steps.  The first
+step converts the text to phonetic units ... most easily implemented on a
+general purpose processor" (paper section 1.1).  This module is that
+first step: a compact rule-based letter-to-phoneme converter in the
+spirit of the classic Naval Research Laboratory rules, plus the phoneme
+inventory (with formant targets) the vocal tract model consumes.
+
+It is intentionally small -- the goal is intelligible-ish, *distinct*
+audio per word flowing through the real device path, not a competitive
+synthesizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Phoneme:
+    """One phonetic unit with the acoustic targets the vocal tract needs."""
+
+    symbol: str
+    kind: str               # "vowel" | "fricative" | "stop" | "nasal"
+    duration: float         # nominal seconds at normal rate
+    formants: tuple[float, ...] = ()    # F1..F3 for voiced sounds
+    voiced: bool = True
+    noise_band: tuple[float, float] | None = None   # fricative band
+
+
+#: The inventory, indexed by symbol.
+PHONEMES: dict[str, Phoneme] = {}
+
+
+def _add(symbol: str, kind: str, duration: float,
+         formants: tuple[float, ...] = (), voiced: bool = True,
+         noise_band: tuple[float, float] | None = None) -> None:
+    PHONEMES[symbol] = Phoneme(symbol, kind, duration, formants, voiced,
+                               noise_band)
+
+
+# Vowels: (F1, F2, F3) from the Peterson-Barney averages.
+_add("IY", "vowel", 0.14, (270.0, 2290.0, 3010.0))    # beet
+_add("IH", "vowel", 0.10, (390.0, 1990.0, 2550.0))    # bit
+_add("EH", "vowel", 0.11, (530.0, 1840.0, 2480.0))    # bet
+_add("AE", "vowel", 0.14, (660.0, 1720.0, 2410.0))    # bat
+_add("AA", "vowel", 0.14, (730.0, 1090.0, 2440.0))    # father
+_add("AO", "vowel", 0.13, (570.0, 840.0, 2410.0))     # bought
+_add("UH", "vowel", 0.10, (440.0, 1020.0, 2240.0))    # book
+_add("UW", "vowel", 0.13, (300.0, 870.0, 2240.0))     # boot
+_add("AH", "vowel", 0.10, (640.0, 1190.0, 2390.0))    # but
+_add("ER", "vowel", 0.12, (490.0, 1350.0, 1690.0))    # bird
+_add("EY", "vowel", 0.14, (480.0, 2100.0, 2700.0))    # bait
+_add("AY", "vowel", 0.16, (660.0, 1400.0, 2500.0))    # bite
+_add("OW", "vowel", 0.14, (500.0, 900.0, 2400.0))     # boat
+_add("AW", "vowel", 0.16, (640.0, 1100.0, 2400.0))    # bout
+_add("OY", "vowel", 0.16, (550.0, 1100.0, 2500.0))    # boy
+
+# Semivowels and liquids: treated as short vowels.
+_add("W", "vowel", 0.07, (300.0, 700.0, 2200.0))
+_add("Y", "vowel", 0.07, (280.0, 2250.0, 2900.0))
+_add("R", "vowel", 0.08, (420.0, 1300.0, 1600.0))
+_add("L", "vowel", 0.08, (380.0, 1000.0, 2600.0))
+
+# Nasals: low first formant, damped.
+_add("M", "nasal", 0.08, (250.0, 1000.0, 2200.0))
+_add("N", "nasal", 0.08, (250.0, 1400.0, 2300.0))
+_add("NG", "nasal", 0.09, (250.0, 1600.0, 2300.0))
+
+# Fricatives: noise shaped into a band; voiced ones add a formant buzz.
+_add("S", "fricative", 0.10, (), voiced=False, noise_band=(3500.0, 3900.0))
+_add("Z", "fricative", 0.09, (250.0, 1400.0, 2300.0), voiced=True,
+     noise_band=(3500.0, 3900.0))
+_add("SH", "fricative", 0.10, (), voiced=False, noise_band=(2000.0, 3000.0))
+_add("ZH", "fricative", 0.09, (250.0, 1600.0, 2300.0), voiced=True,
+     noise_band=(2000.0, 3000.0))
+_add("F", "fricative", 0.09, (), voiced=False, noise_band=(1500.0, 3800.0))
+_add("V", "fricative", 0.08, (250.0, 1000.0, 2200.0), voiced=True,
+     noise_band=(1500.0, 3800.0))
+_add("TH", "fricative", 0.09, (), voiced=False, noise_band=(1400.0, 3700.0))
+_add("DH", "fricative", 0.08, (250.0, 1200.0, 2300.0), voiced=True,
+     noise_band=(1400.0, 3700.0))
+_add("HH", "fricative", 0.07, (), voiced=False, noise_band=(500.0, 2500.0))
+
+# Stops: closure silence then a burst.
+_add("P", "stop", 0.09, (), voiced=False, noise_band=(500.0, 1500.0))
+_add("B", "stop", 0.08, (300.0, 900.0, 2200.0), voiced=True,
+     noise_band=(500.0, 1500.0))
+_add("T", "stop", 0.09, (), voiced=False, noise_band=(2500.0, 3900.0))
+_add("D", "stop", 0.08, (300.0, 1700.0, 2500.0), voiced=True,
+     noise_band=(2500.0, 3900.0))
+_add("K", "stop", 0.09, (), voiced=False, noise_band=(1500.0, 2500.0))
+_add("G", "stop", 0.08, (300.0, 1800.0, 2300.0), voiced=True,
+     noise_band=(1500.0, 2500.0))
+_add("CH", "stop", 0.11, (), voiced=False, noise_band=(2000.0, 3200.0))
+_add("JH", "stop", 0.10, (300.0, 1700.0, 2400.0), voiced=True,
+     noise_band=(2000.0, 3200.0))
+
+#: Inter-word / punctuation pause pseudo-phonemes.
+_add("PAUSE", "pause", 0.12, (), voiced=False)
+_add("LONG_PAUSE", "pause", 0.30, (), voiced=False)
+
+
+# ---------------------------------------------------------------------------
+# Letter-to-sound rules
+# ---------------------------------------------------------------------------
+
+# Each rule is (grapheme, phonemes).  At every text position the longest
+# matching grapheme wins; this greedy longest-match scheme plus a digraph
+# table gets surprisingly far for the prompts desktop audio speaks.
+_DIGRAPHS: list[tuple[str, list[str]]] = [
+    ("tion", ["SH", "AH", "N"]),
+    ("ight", ["AY", "T"]),
+    ("ough", ["OW"]),
+    ("augh", ["AO"]),
+    ("eigh", ["EY"]),
+    ("ing", ["IH", "NG"]),
+    ("sch", ["S", "K"]),
+    ("tch", ["CH"]),
+    ("ch", ["CH"]),
+    ("sh", ["SH"]),
+    ("th", ["TH"]),
+    ("ph", ["F"]),
+    ("wh", ["W"]),
+    ("ck", ["K"]),
+    ("ng", ["NG"]),
+    ("qu", ["K", "W"]),
+    ("ee", ["IY"]),
+    ("ea", ["IY"]),
+    ("oo", ["UW"]),
+    ("ou", ["AW"]),
+    ("ow", ["OW"]),
+    ("oi", ["OY"]),
+    ("oy", ["OY"]),
+    ("ai", ["EY"]),
+    ("ay", ["EY"]),
+    ("au", ["AO"]),
+    ("aw", ["AO"]),
+    ("ar", ["AA", "R"]),
+    ("er", ["ER"]),
+    ("ir", ["ER"]),
+    ("ur", ["ER"]),
+    ("or", ["AO", "R"]),
+]
+
+_SINGLE: dict[str, list[str]] = {
+    "a": ["AE"], "b": ["B"], "c": ["K"], "d": ["D"], "e": ["EH"],
+    "f": ["F"], "g": ["G"], "h": ["HH"], "i": ["IH"], "j": ["JH"],
+    "k": ["K"], "l": ["L"], "m": ["M"], "n": ["N"], "o": ["AA"],
+    "p": ["P"], "q": ["K"], "r": ["R"], "s": ["S"], "t": ["T"],
+    "u": ["AH"], "v": ["V"], "w": ["W"], "x": ["K", "S"], "y": ["Y"],
+    "z": ["Z"],
+}
+
+_DIGIT_WORDS = {
+    "0": "zero", "1": "one", "2": "two", "3": "three", "4": "four",
+    "5": "five", "6": "six", "7": "seven", "8": "eight", "9": "nine",
+}
+
+
+#: "Magic e": the long vowel a silent final 'e' gives the prior vowel.
+_LENGTHEN = {"AE": "EY", "EH": "IY", "IH": "AY", "AA": "OW", "AH": "UW"}
+
+_VOWEL_LETTERS = set("aeiou")
+
+
+def word_to_phonemes(word: str) -> list[str]:
+    """Convert one lowercase word to phoneme symbols (greedy rules)."""
+    word = word.lower()
+    phonemes: list[str] = []
+    position = 0
+    while position < len(word):
+        # Final silent 'e' ("...VCe" with 4+ letters): drop the 'e' and
+        # lengthen the preceding vowel (tone -> OW, nine -> AY).
+        if (word[position] == "e" and position == len(word) - 1
+                and position >= 3
+                and word[position - 1] not in _VOWEL_LETTERS
+                and any(letter in _VOWEL_LETTERS
+                        for letter in word[:position - 1])):
+            for back in range(len(phonemes) - 1, -1, -1):
+                replacement = _LENGTHEN.get(phonemes[back])
+                if replacement is not None:
+                    phonemes[back] = replacement
+                    break
+            position += 1
+            continue
+        for grapheme, symbols in _DIGRAPHS:
+            if word.startswith(grapheme, position):
+                phonemes.extend(symbols)
+                position += len(grapheme)
+                break
+        else:
+            letter = word[position]
+            phonemes.extend(_SINGLE.get(letter, []))
+            position += 1
+    return phonemes
+
+
+def text_to_phonemes(text: str,
+                     exceptions: dict[str, list[str]] | None = None
+                     ) -> list[str]:
+    """Convert text to phoneme symbols, honoring an exception list.
+
+    ``exceptions`` maps lowercase words to explicit phoneme sequences --
+    the protocol's SetExceptionList "allows applications to override the
+    normal pronunciation of words, such as names or technical terms".
+    Digits are spoken as words; sentence punctuation becomes pauses.
+    """
+    exceptions = exceptions or {}
+    phonemes: list[str] = []
+    word: list[str] = []
+
+    def flush_word() -> None:
+        if not word:
+            return
+        text_word = "".join(word)
+        override = exceptions.get(text_word)
+        if override is not None:
+            phonemes.extend(override)
+        else:
+            phonemes.extend(word_to_phonemes(text_word))
+        phonemes.append("PAUSE")
+        word.clear()
+
+    for char in text.lower():
+        if char.isalpha():
+            word.append(char)
+        elif char.isdigit():
+            flush_word()
+            phonemes.extend(word_to_phonemes(_DIGIT_WORDS[char]))
+            phonemes.append("PAUSE")
+        elif char in ".!?;:":
+            flush_word()
+            phonemes.append("LONG_PAUSE")
+        else:
+            flush_word()
+    flush_word()
+    while phonemes and phonemes[-1] in ("PAUSE", "LONG_PAUSE"):
+        phonemes.pop()
+    return phonemes

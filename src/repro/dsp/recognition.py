@@ -1,0 +1,299 @@
+"""Small-vocabulary speech recognition.
+
+Per the paper (section 1.1): "Speech recognition usually employs a
+digital signal processor to extract acoustically significant features
+from the audio signal, and a general purpose processor for pattern
+matching to determine which word was spoken."  And, honestly
+(section 1.4): "speech recognition simply does not work very well."
+
+This is the classical isolated-word recognizer of that era:
+
+* **features** -- log mel-style filterbank energies per 20 ms frame;
+* **pattern matching** -- dynamic time warping (DTW) against stored
+  templates, one or more per vocabulary word;
+* **endpointing** -- energy-based utterance detection on the live stream.
+
+Training (the protocol's Train command) stores a template; recognition
+emits (word, score) results.  Scores are normalized path costs -- lower
+is better -- and a rejection threshold keeps garbage from matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+FRAME_MS = 20
+#: Number of triangular filters in the filterbank.
+FILTER_COUNT = 12
+
+
+def _mel(frequency: float) -> float:
+    return 2595.0 * np.log10(1.0 + frequency / 700.0)
+
+
+def _mel_inverse(mel: float) -> float:
+    return 700.0 * (10.0 ** (mel / 2595.0) - 1.0)
+
+
+def _filterbank(rate: int, fft_size: int) -> np.ndarray:
+    """Triangular mel filterbank matrix (FILTER_COUNT x bins)."""
+    low_mel = _mel(100.0)
+    high_mel = _mel(rate / 2.0 - 100.0)
+    centers_mel = np.linspace(low_mel, high_mel, FILTER_COUNT + 2)
+    centers_hz = np.array([_mel_inverse(m) for m in centers_mel])
+    bin_frequencies = np.fft.rfftfreq(fft_size, 1.0 / rate)
+    bank = np.zeros((FILTER_COUNT, len(bin_frequencies)))
+    for index in range(FILTER_COUNT):
+        left, center, right = centers_hz[index:index + 3]
+        rising = (bin_frequencies - left) / max(center - left, 1.0)
+        falling = (right - bin_frequencies) / max(right - center, 1.0)
+        bank[index] = np.clip(np.minimum(rising, falling), 0.0, None)
+    return bank
+
+
+def extract_features(samples: np.ndarray, rate: int) -> np.ndarray:
+    """Feature matrix (frames x FILTER_COUNT) of log filterbank energies.
+
+    Features are mean-normalized per utterance, which buys a little
+    channel robustness (the same trick that lets templates trained on the
+    microphone match over the telephone path).
+    """
+    block = np.asarray(samples, dtype=np.float64)
+    frame = max(1, rate * FRAME_MS // 1000)
+    count = len(block) // frame
+    if count == 0:
+        return np.zeros((0, FILTER_COUNT))
+    frames = block[:count * frame].reshape(count, frame)
+    windowed = frames * np.hanning(frame)
+    spectra = np.abs(np.fft.rfft(windowed, axis=1)) ** 2
+    bank = _filterbank(rate, frame)
+    energies = spectra @ bank.T
+    features = np.log(energies + 1.0)
+    return features - features.mean(axis=0, keepdims=True)
+
+
+def dtw_distance(template: np.ndarray, sample: np.ndarray,
+                 band: int | None = None) -> float:
+    """Normalized DTW path cost between two feature matrices.
+
+    Euclidean local distance, the standard (1,1)/(1,0)/(0,1) step
+    pattern, optional Sakoe-Chiba band, cost normalized by path-defining
+    length so short and long words compete fairly.  Returns ``inf`` when
+    either side is empty or the band admits no path.
+    """
+    rows = len(template)
+    cols = len(sample)
+    if rows == 0 or cols == 0:
+        return float("inf")
+    if band is None:
+        band = max(rows, cols)  # effectively unconstrained
+    band = max(band, abs(rows - cols) + 1)
+    local = np.full((rows, cols), np.inf)
+    for row in range(rows):
+        low = max(0, row - band)
+        high = min(cols, row + band + 1)
+        if low < high:
+            diff = sample[low:high] - template[row]
+            local[row, low:high] = np.sqrt(np.sum(diff * diff, axis=1))
+    accumulated = np.full((rows, cols), np.inf)
+    accumulated[0, 0] = local[0, 0]
+    for row in range(rows):
+        for col in range(max(0, row - band), min(cols, row + band + 1)):
+            if row == 0 and col == 0:
+                continue
+            best = np.inf
+            if row > 0:
+                best = min(best, accumulated[row - 1, col])
+            if col > 0:
+                best = min(best, accumulated[row, col - 1])
+            if row > 0 and col > 0:
+                best = min(best, accumulated[row - 1, col - 1])
+            accumulated[row, col] = local[row, col] + best
+    return float(accumulated[-1, -1] / (rows + cols))
+
+
+@dataclass
+class RecognitionResult:
+    word: str
+    score: float    # normalized DTW cost; lower is better
+
+
+@dataclass
+class WordTemplate:
+    word: str
+    features: np.ndarray
+
+
+class Recognizer:
+    """Trainable isolated-word recognizer with an active vocabulary."""
+
+    def __init__(self, rate: int, rejection_threshold: float = 10.0,
+                 band: int = 20) -> None:
+        self.rate = rate
+        self.rejection_threshold = rejection_threshold
+        self.band = band
+        self._templates: list[WordTemplate] = []
+        self._vocabulary: set[str] | None = None    # None = all trained
+
+    @property
+    def trained_words(self) -> list[str]:
+        seen: list[str] = []
+        for template in self._templates:
+            if template.word not in seen:
+                seen.append(template.word)
+        return seen
+
+    def _trim(self, samples: np.ndarray) -> np.ndarray:
+        """Endpoint the utterance: strip leading/trailing silence.
+
+        Recognition must be invariant to how much silence surrounds the
+        word (templates are trained from stored sounds, live audio comes
+        from an energy endpointer with its own padding).
+        """
+        from .silence import find_speech_runs
+
+        runs = find_speech_runs(samples, self.rate)
+        if not runs:
+            return samples
+        margin = self.rate // 20    # keep 50 ms of context each side
+        start = max(0, runs[0][0] - margin)
+        end = min(len(samples), runs[-1][1] + margin)
+        return samples[start:end]
+
+    def train(self, word: str, samples: np.ndarray) -> None:
+        """Store a template for ``word`` from a training utterance."""
+        features = extract_features(self._trim(samples), self.rate)
+        if len(features) < 2:
+            raise ValueError("training utterance too short")
+        self._templates.append(WordTemplate(word, features))
+
+    def set_vocabulary(self, words: list[str] | None) -> None:
+        """Restrict recognition to a subset of trained words.
+
+        ``None`` re-enables every trained word.  Unknown words are
+        rejected so applications discover typos at SetVocabulary time.
+        """
+        if words is None:
+            self._vocabulary = None
+            return
+        trained = set(self.trained_words)
+        missing = [word for word in words if word not in trained]
+        if missing:
+            raise ValueError("untrained words: %s" % ", ".join(missing))
+        self._vocabulary = set(words)
+
+    def adjust_context(self, rejection_threshold: float | None = None,
+                       band: int | None = None) -> None:
+        """Tune matching strictness (the AdjustContext command)."""
+        if rejection_threshold is not None:
+            if rejection_threshold <= 0:
+                raise ValueError("rejection threshold must be positive")
+            self.rejection_threshold = rejection_threshold
+        if band is not None:
+            if band < 1:
+                raise ValueError("band must be at least 1")
+            self.band = band
+
+    def recognize(self, samples: np.ndarray) -> RecognitionResult | None:
+        """Classify one utterance; None if nothing scores under threshold."""
+        features = extract_features(self._trim(samples), self.rate)
+        if len(features) < 2:
+            return None
+        best: RecognitionResult | None = None
+        for template in self._templates:
+            if (self._vocabulary is not None
+                    and template.word not in self._vocabulary):
+                continue
+            score = dtw_distance(template.features, features, self.band)
+            if best is None or score < best.score:
+                best = RecognitionResult(template.word, score)
+        if best is None or best.score > self.rejection_threshold:
+            return None
+        return best
+
+    def save_vocabulary(self) -> dict:
+        """Serializable snapshot (the SaveVocabulary command)."""
+        return {
+            "rate": self.rate,
+            "rejection_threshold": self.rejection_threshold,
+            "band": self.band,
+            "templates": [
+                {"word": template.word,
+                 "features": template.features.tolist()}
+                for template in self._templates
+            ],
+            "vocabulary": (sorted(self._vocabulary)
+                           if self._vocabulary is not None else None),
+        }
+
+    @classmethod
+    def load_vocabulary(cls, snapshot: dict) -> "Recognizer":
+        recognizer = cls(snapshot["rate"],
+                         snapshot["rejection_threshold"],
+                         snapshot["band"])
+        for entry in snapshot["templates"]:
+            recognizer._templates.append(WordTemplate(
+                entry["word"], np.array(entry["features"])))
+        vocabulary = snapshot.get("vocabulary")
+        if vocabulary is not None:
+            recognizer._vocabulary = set(vocabulary)
+        return recognizer
+
+
+class UtteranceDetector:
+    """Energy-based endpointing over a live sample stream.
+
+    Feed blocks; when a complete utterance (speech bounded by silence) is
+    detected, :meth:`feed` returns its samples.  Used by the recognizer
+    virtual device to segment microphone input.
+    """
+
+    def __init__(self, rate: int, threshold: float = 300.0,
+                 min_speech_ms: int = 120, trailing_silence_ms: int = 250,
+                 max_utterance_ms: int = 3000) -> None:
+        self.rate = rate
+        self.threshold = threshold
+        self.min_speech = rate * min_speech_ms // 1000
+        self.trailing_silence = rate * trailing_silence_ms // 1000
+        self.max_utterance = rate * max_utterance_ms // 1000
+        self._buffer: list[np.ndarray] = []
+        self._buffered = 0
+        self._speech_seen = 0
+        self._silence_run = 0
+
+    def feed(self, samples: np.ndarray) -> np.ndarray | None:
+        block = np.asarray(samples, dtype=np.int16)
+        if len(block) == 0:
+            return None
+        level = float(np.sqrt(np.mean(
+            np.asarray(block, dtype=np.float64) ** 2)))
+        if level >= self.threshold:
+            self._buffer.append(block)
+            self._buffered += len(block)
+            self._speech_seen += len(block)
+            self._silence_run = 0
+            if self._buffered >= self.max_utterance:
+                return self._finish()
+            return None
+        # Silence block.
+        if self._speech_seen == 0:
+            return None     # still waiting for the utterance to start
+        self._buffer.append(block)
+        self._buffered += len(block)
+        self._silence_run += len(block)
+        if self._silence_run >= self.trailing_silence:
+            return self._finish()
+        return None
+
+    def _finish(self) -> np.ndarray | None:
+        utterance = np.concatenate(self._buffer)
+        speech_seen = self._speech_seen
+        self._buffer = []
+        self._buffered = 0
+        self._speech_seen = 0
+        self._silence_run = 0
+        if speech_seen < self.min_speech:
+            return None     # too short: a click, not a word
+        return utterance

@@ -1,0 +1,72 @@
+"""Sample-rate conversion.
+
+Wires between devices running at different rates (a CD-quality player
+feeding a telephone-rate line, say) need resampling.  Linear
+interpolation is plenty for voice-grade audio and is exactly what a 1991
+workstation would have afforded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def resample(samples: np.ndarray, from_rate: int, to_rate: int) -> np.ndarray:
+    """Resample int16 linear samples between rates (linear interpolation).
+
+    The output length is ``round(len * to_rate / from_rate)`` so that
+    durations are preserved to within half an output sample.
+    """
+    if from_rate <= 0 or to_rate <= 0:
+        raise ValueError("sample rates must be positive")
+    if from_rate == to_rate or len(samples) == 0:
+        return np.asarray(samples, dtype=np.int16)
+    src = np.asarray(samples, dtype=np.float64)
+    out_length = int(round(len(src) * to_rate / from_rate))
+    if out_length == 0:
+        return np.zeros(0, dtype=np.int16)
+    # Sample positions in the source timeline.
+    positions = np.arange(out_length) * (from_rate / to_rate)
+    resampled = np.interp(positions, np.arange(len(src)), src)
+    return np.clip(np.round(resampled), -32768, 32767).astype(np.int16)
+
+
+class StreamResampler:
+    """Stateful block-by-block resampler for live wires.
+
+    Keeps the last source sample across blocks so consecutive calls
+    produce the same waveform a one-shot :func:`resample` would, without
+    clicks at block boundaries.
+    """
+
+    def __init__(self, from_rate: int, to_rate: int) -> None:
+        if from_rate <= 0 or to_rate <= 0:
+            raise ValueError("sample rates must be positive")
+        self.from_rate = from_rate
+        self.to_rate = to_rate
+        self._ratio = from_rate / to_rate
+        self._position = 0.0        # source-sample position of next output
+        self._tail = np.zeros(0, dtype=np.float64)
+
+    def process(self, samples: np.ndarray) -> np.ndarray:
+        """Feed a block of source samples, get the resampled block."""
+        if self.from_rate == self.to_rate:
+            return np.asarray(samples, dtype=np.int16)
+        src = np.concatenate(
+            [self._tail, np.asarray(samples, dtype=np.float64)])
+        if len(src) < 2:
+            self._tail = src
+            return np.zeros(0, dtype=np.int16)
+        # Generate outputs whose source position stays inside [0, len-1).
+        limit = len(src) - 1
+        count = int(np.floor((limit - self._position) / self._ratio))
+        if count <= 0:
+            self._tail = src
+            return np.zeros(0, dtype=np.int16)
+        positions = self._position + np.arange(count) * self._ratio
+        output = np.interp(positions, np.arange(len(src)), src)
+        next_position = self._position + count * self._ratio
+        keep_from = int(np.floor(next_position))
+        self._tail = src[keep_from:]
+        self._position = next_position - keep_from
+        return np.clip(np.round(output), -32768, 32767).astype(np.int16)

@@ -1,0 +1,119 @@
+"""Silence and pause handling.
+
+Two recorder capabilities from the paper (section 5.1):
+
+* "pause detection to terminate recording" -- the answering machine's
+  Record command ends "after a pause" (section 5.9);
+* "compress the recorded audio by removing pauses".
+
+Both are energy-based with hangover, the standard speech endpointing
+approach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PauseDetector:
+    """Streaming trailing-silence detector.
+
+    Feed blocks; :meth:`feed` returns True once ``pause_seconds`` of
+    continuous sub-threshold audio have accumulated *after* some speech
+    was heard (leading silence before the caller starts talking must not
+    end the recording).
+    """
+
+    def __init__(self, rate: int, pause_seconds: float = 2.0,
+                 threshold: float = 300.0,
+                 require_speech_first: bool = True) -> None:
+        self.rate = rate
+        self.pause_samples = int(pause_seconds * rate)
+        self.threshold = threshold
+        self.require_speech_first = require_speech_first
+        self._silent_run = 0
+        self._heard_speech = False
+
+    def feed(self, samples: np.ndarray) -> bool:
+        """Process a block; True if the pause condition is now met."""
+        block = np.asarray(samples, dtype=np.float64)
+        if len(block) == 0:
+            return self._triggered()
+        level = float(np.sqrt(np.mean(block * block)))
+        if level >= self.threshold:
+            self._heard_speech = True
+            self._silent_run = 0
+        else:
+            self._silent_run += len(block)
+        return self._triggered()
+
+    def _triggered(self) -> bool:
+        if self.require_speech_first and not self._heard_speech:
+            return False
+        return self._silent_run >= self.pause_samples
+
+    def reset(self) -> None:
+        self._silent_run = 0
+        self._heard_speech = False
+
+
+def find_speech_runs(samples: np.ndarray, rate: int,
+                     threshold: float = 300.0,
+                     frame_ms: int = 20,
+                     hangover_ms: int = 150) -> list[tuple[int, int]]:
+    """Locate (start, end) sample ranges containing speech.
+
+    Frames with RMS above the threshold are speech; gaps shorter than the
+    hangover are bridged so a single utterance is not split on weak
+    consonants.
+    """
+    block = np.asarray(samples, dtype=np.float64)
+    frame = max(1, rate * frame_ms // 1000)
+    count = len(block) // frame
+    if count == 0:
+        return []
+    frames = block[:count * frame].reshape(count, frame)
+    levels = np.sqrt(np.mean(frames * frames, axis=1))
+    active = levels >= threshold
+    hangover_frames = max(1, hangover_ms // frame_ms)
+    runs: list[tuple[int, int]] = []
+    start: int | None = None
+    gap = 0
+    for index, is_active in enumerate(active):
+        if is_active:
+            if start is None:
+                start = index
+            gap = 0
+        elif start is not None:
+            gap += 1
+            if gap > hangover_frames:
+                runs.append((start * frame, (index - gap + 1) * frame))
+                start = None
+                gap = 0
+    if start is not None:
+        runs.append((start * frame, count * frame))
+    return runs
+
+
+def compress_pauses(samples: np.ndarray, rate: int,
+                    threshold: float = 300.0,
+                    keep_ms: int = 200) -> np.ndarray:
+    """Remove long pauses, keeping ``keep_ms`` of each (pause compression).
+
+    The output preserves every speech run and collapses the silence
+    between runs to at most ``keep_ms`` milliseconds.
+    """
+    runs = find_speech_runs(samples, rate, threshold=threshold)
+    if not runs:
+        return np.zeros(0, dtype=np.int16)
+    keep = rate * keep_ms // 1000
+    pieces: list[np.ndarray] = []
+    previous_end = None
+    block = np.asarray(samples, dtype=np.int16)
+    for start, end in runs:
+        if previous_end is not None:
+            gap = start - previous_end
+            pieces.append(block[previous_end:previous_end + min(gap, keep)])
+        pieces.append(block[start:end])
+        previous_end = end
+    return np.concatenate(pieces)

@@ -1,0 +1,79 @@
+"""Tone generation: beeps, call-progress tones, test signals.
+
+Synthesized sounds the server and the telephone exchange need: the
+answering-machine "beep", ringback, busy tone, dial tone, plus generic
+sine/noise generators used throughout the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: A comfortable default amplitude (about -10 dBFS).
+DEFAULT_AMPLITUDE = 10000
+
+
+def sine(frequency: float, duration: float, rate: int,
+         amplitude: int = DEFAULT_AMPLITUDE, phase: float = 0.0) -> np.ndarray:
+    """A sine tone as int16 samples."""
+    count = int(round(duration * rate))
+    times = np.arange(count) / rate
+    wave = amplitude * np.sin(2.0 * np.pi * frequency * times + phase)
+    return np.round(wave).astype(np.int16)
+
+
+def dual_tone(freq_a: float, freq_b: float, duration: float, rate: int,
+              amplitude: int = DEFAULT_AMPLITUDE) -> np.ndarray:
+    """Two equal-amplitude sines summed (the DTMF shape)."""
+    count = int(round(duration * rate))
+    times = np.arange(count) / rate
+    wave = (np.sin(2.0 * np.pi * freq_a * times)
+            + np.sin(2.0 * np.pi * freq_b * times)) * (amplitude / 2.0)
+    return np.round(wave).astype(np.int16)
+
+
+def silence(duration: float, rate: int) -> np.ndarray:
+    """Digital silence."""
+    return np.zeros(int(round(duration * rate)), dtype=np.int16)
+
+
+def white_noise(duration: float, rate: int,
+                amplitude: int = DEFAULT_AMPLITUDE,
+                seed: int = 0) -> np.ndarray:
+    """Deterministic white noise (seeded, so tests are reproducible)."""
+    generator = np.random.default_rng(seed)
+    count = int(round(duration * rate))
+    wave = generator.uniform(-amplitude, amplitude, count)
+    return np.round(wave).astype(np.int16)
+
+
+def beep(rate: int, duration: float = 0.25,
+         frequency: float = 1000.0) -> np.ndarray:
+    """The classic answering-machine beep, with a short fade at each end."""
+    wave = sine(frequency, duration, rate).astype(np.float64)
+    ramp = min(len(wave) // 8, int(0.01 * rate)) or 1
+    envelope = np.ones(len(wave))
+    envelope[:ramp] = np.linspace(0.0, 1.0, ramp)
+    envelope[-ramp:] = np.linspace(1.0, 0.0, ramp)
+    return np.round(wave * envelope).astype(np.int16)
+
+
+def dial_tone(duration: float, rate: int) -> np.ndarray:
+    """North American dial tone: 350 Hz + 440 Hz continuous."""
+    return dual_tone(350.0, 440.0, duration, rate)
+
+
+def ringback_tone(duration: float, rate: int) -> np.ndarray:
+    """Ringback: 440 Hz + 480 Hz, 2 s on / 4 s off cadence."""
+    wave = dual_tone(440.0, 480.0, duration, rate).astype(np.float64)
+    times = np.arange(len(wave)) / rate
+    gate = (times % 6.0) < 2.0
+    return np.round(wave * gate).astype(np.int16)
+
+
+def busy_tone(duration: float, rate: int) -> np.ndarray:
+    """Busy: 480 Hz + 620 Hz, 0.5 s on / 0.5 s off cadence."""
+    wave = dual_tone(480.0, 620.0, duration, rate).astype(np.float64)
+    times = np.arange(len(wave)) / rate
+    gate = (times % 1.0) < 0.5
+    return np.round(wave * gate).astype(np.int16)

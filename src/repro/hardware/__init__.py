@@ -1,0 +1,32 @@
+"""Simulated audio hardware: clock, hub, devices, rooms.
+
+Substitutes for the paper's CODEC and telephone interface hardware; see
+DESIGN.md section 2 for the substitution argument.
+"""
+
+from .clock import RealTimePacer, SampleClock, VirtualPacer
+from .config import (
+    HardwareConfig,
+    LineSpec,
+    MicrophoneSpec,
+    SpeakerSpec,
+    two_line_config,
+    two_speaker_config,
+)
+from .devices import (
+    CaptureBuffer,
+    LineDevice,
+    MicrophoneDevice,
+    PhysicalAudioDevice,
+    SpeakerDevice,
+)
+from .hub import AudioHub
+from .room import InjectedSource, Room
+
+__all__ = [
+    "AudioHub", "CaptureBuffer", "HardwareConfig", "InjectedSource",
+    "LineDevice", "LineSpec", "MicrophoneDevice", "MicrophoneSpec",
+    "PhysicalAudioDevice", "RealTimePacer", "Room", "SampleClock",
+    "SpeakerDevice", "SpeakerSpec", "VirtualPacer", "two_line_config",
+    "two_speaker_config",
+]

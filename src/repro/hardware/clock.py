@@ -1,0 +1,111 @@
+"""Sample clocks.
+
+The paper's prototype ran against "a simple CODEC with memory-mapped
+buffers"; the CODEC's crystal is the time base of the whole audio system
+(its footnote 8 even warns that the server CPU clock and the CODEC clock
+skew apart).  We reproduce that structure: the hub owns a single
+:class:`SampleClock`, all audio time is counted in samples of that clock,
+and seconds are derived.
+
+Two pacing policies:
+
+* :class:`VirtualPacer` -- simulation time; blocks are processed as fast
+  as the CPU allows and "time" is simply the sample counter.  This is the
+  default for tests and benchmarks of sample-exact behaviour.
+* :class:`RealTimePacer` -- wall-clock pacing; each block is released at
+  its real deadline, for live use and latency measurements.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class SampleClock:
+    """Monotonic sample counter plus derived seconds.
+
+    Thread-safe: the hub advances it; any thread may read it or wait for
+    a target sample time.
+    """
+
+    def __init__(self, sample_rate: int) -> None:
+        if sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        self.sample_rate = sample_rate
+        self._samples = 0
+        self._condition = threading.Condition()
+
+    @property
+    def sample_time(self) -> int:
+        return self._samples
+
+    def seconds(self) -> float:
+        return self._samples / self.sample_rate
+
+    def advance(self, frames: int) -> None:
+        """Advance by ``frames`` samples and wake waiters."""
+        if frames < 0:
+            raise ValueError("cannot advance backwards")
+        with self._condition:
+            self._samples += frames
+            self._condition.notify_all()
+
+    def wait_until(self, target_samples: int, timeout: float | None = None
+                   ) -> bool:
+        """Block until the clock reaches ``target_samples``.
+
+        Returns False on timeout.  Useful for tests that must wait for
+        simulated time to pass.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while self._samples < target_samples:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._condition.wait(remaining)
+        return True
+
+
+class VirtualPacer:
+    """No pacing: blocks run back to back at CPU speed.
+
+    A zero-length sleep is still issued every block to give other threads
+    (request dispatch, event writers) a chance to run between blocks.
+    """
+
+    def start(self) -> None:
+        pass
+
+    def pace(self, block_frames: int, sample_rate: int) -> None:
+        time.sleep(0)
+
+
+class RealTimePacer:
+    """Wall-clock pacing: block N is released at N * block_duration.
+
+    Tracks an absolute schedule rather than sleeping a fixed amount per
+    block, so scheduling jitter does not accumulate into clock drift.
+    """
+
+    def __init__(self) -> None:
+        self._origin: float | None = None
+        self._released = 0
+
+    def start(self) -> None:
+        self._origin = time.monotonic()
+        self._released = 0
+
+    def pace(self, block_frames: int, sample_rate: int) -> None:
+        if self._origin is None:
+            self.start()
+        self._released += block_frames
+        deadline = self._origin + self._released / sample_rate
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                break
+            time.sleep(min(deadline - now, 0.005))

@@ -1,0 +1,75 @@
+"""Hardware configuration: which devices the simulated workstation has.
+
+The paper's prototype was a DECstation 5000 with "a simple CODEC with
+memory-mapped buffers" plus a telephone interface.  A
+:class:`HardwareConfig` describes one such workstation; the default is
+the desktop the paper's examples assume -- a speaker, a microphone and a
+telephone line -- with an optional hard-wired speakerphone (the paper's
+example of permanent wiring constraints, section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpeakerSpec:
+    name: str
+    domain: str = "desktop"
+
+
+@dataclass(frozen=True)
+class MicrophoneSpec:
+    name: str
+    domain: str = "desktop"
+
+
+@dataclass(frozen=True)
+class LineSpec:
+    name: str
+    number: str
+    area_code: str = "415"
+    digital: bool = False
+    forward_to: str | None = None
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """One workstation's audio hardware complement."""
+
+    sample_rate: int = 8000
+    block_frames: int = 160     # 20 ms at 8 kHz
+    speakers: tuple[SpeakerSpec, ...] = (SpeakerSpec("speaker-0"),)
+    microphones: tuple[MicrophoneSpec, ...] = (MicrophoneSpec("mic-0"),)
+    lines: tuple[LineSpec, ...] = (LineSpec("line-0", "5550100"),)
+    #: A speakerphone adds a hard-wired speaker+mic+line trio that lives
+    #: in both the desktop and telephone ambient domains.
+    speakerphone: bool = False
+    #: Record output devices' samples for inspection (tests, benches).
+    capture_output: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        if self.block_frames <= 0:
+            raise ValueError("block size must be positive")
+        names = ([spec.name for spec in self.speakers]
+                 + [spec.name for spec in self.microphones]
+                 + [spec.name for spec in self.lines])
+        if len(names) != len(set(names)):
+            raise ValueError("device names must be unique")
+
+
+def two_speaker_config() -> HardwareConfig:
+    """A workstation with left/right speakers (for attribute matching)."""
+    return HardwareConfig(
+        speakers=(SpeakerSpec("left-speaker"), SpeakerSpec("right-speaker")),
+    )
+
+
+def two_line_config() -> HardwareConfig:
+    """A workstation with two telephone lines."""
+    return HardwareConfig(
+        lines=(LineSpec("line-0", "5550100"), LineSpec("line-1", "5550101")),
+    )

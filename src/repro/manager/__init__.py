@@ -1,0 +1,5 @@
+"""The audio manager client (paper section 4.3)."""
+
+from .manager import AudioManager, Policy, TelephonePriorityPolicy
+
+__all__ = ["AudioManager", "Policy", "TelephonePriorityPolicy"]

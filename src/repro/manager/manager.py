@@ -1,0 +1,126 @@
+"""The audio manager: contention policy as a client.
+
+"Because the audio protocol allows multiple clients to access the audio
+hardware simultaneously, an application similar to a window manager is
+needed to enforce contention policy.  We call this the audio manager."
+(paper section 4.3)
+
+The manager enables redirection (SetRedirect), after which every other
+client's map and restack requests arrive as MAP_REQUEST /
+RESTACK_REQUEST events.  A pluggable :class:`Policy` decides what to do;
+the protocol "specifies sensible defaults in the absence of an audio
+manager" (everything is honored), so the simplest manager changes
+nothing and a policy only has to express what it wants to forbid or
+reorder.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..alib.api import AudioClient
+from ..protocol import events as ev
+from ..protocol.events import Event
+from ..protocol.types import EventCode, EventMask, StackPosition
+from ..server.resources import DEVICE_LOUD_ID
+
+
+class Policy:
+    """Decides the fate of redirected requests.  Default: honor all."""
+
+    def on_map_request(self, manager: "AudioManager",
+                       event: Event) -> tuple[bool, StackPosition]:
+        """Return (honor, position) for a redirected map."""
+        return True, StackPosition.TOP
+
+    def on_restack_request(self, manager: "AudioManager",
+                           event: Event) -> tuple[bool, StackPosition]:
+        requested = event.args.get(ev.ARG_POSITION)
+        position = (StackPosition(int(requested))
+                    if requested is not None else StackPosition.TOP)
+        return True, position
+
+
+class TelephonePriorityPolicy(Policy):
+    """Telephony outranks desktop playback.
+
+    Applications declare their ambient domain preference with a DOMAIN
+    property on their root LOUD (the paper's example, section 5.8);
+    LOUDs claiming the telephone domain map to the top of the active
+    stack, everything else maps to the bottom while any telephone LOUD
+    is up.
+    """
+
+    def __init__(self) -> None:
+        self._telephone_louds: set[int] = set()
+
+    def on_map_request(self, manager: "AudioManager",
+                       event: Event) -> tuple[bool, StackPosition]:
+        domain = manager.client.get_property(event.resource, "DOMAIN")
+        if domain == "telephone":
+            self._telephone_louds.add(event.resource)
+            return True, StackPosition.TOP
+        if self._telephone_louds:
+            return True, StackPosition.BOTTOM
+        return True, StackPosition.TOP
+
+
+class AudioManager:
+    """The manager client: event loop + policy dispatch."""
+
+    def __init__(self, client: AudioClient,
+                 policy: Policy | None = None) -> None:
+        self.client = client
+        self.policy = policy or Policy()
+        self.handled = 0
+        self._running = False
+        self._thread: threading.Thread | None = None
+        client.set_redirect(True)
+        client.select_events(DEVICE_LOUD_ID, EventMask.REDIRECT)
+        client.sync()
+
+    def handle_event(self, event: Event) -> bool:
+        """Process one event; returns True if it was a redirect."""
+        if event.code is EventCode.MAP_REQUEST:
+            honor, position = self.policy.on_map_request(self, event)
+            self.client.allow_map(event.resource, honor)
+            if honor and position is StackPosition.BOTTOM:
+                self.client.allow_restack(event.resource, position)
+            self.handled += 1
+            return True
+        if event.code is EventCode.RESTACK_REQUEST:
+            honor, position = self.policy.on_restack_request(self, event)
+            self.client.allow_restack(event.resource, position, honor)
+            self.handled += 1
+            return True
+        return False
+
+    def run_once(self, timeout: float = 1.0) -> bool:
+        """Wait for and handle one redirected request."""
+        event = self.client.wait_for_event(
+            lambda e: e.code in (EventCode.MAP_REQUEST,
+                                 EventCode.RESTACK_REQUEST),
+            timeout=timeout)
+        if event is None:
+            return False
+        return self.handle_event(event)
+
+    def start(self) -> None:
+        """Run the manager loop in a background thread."""
+        if self._running:
+            return
+        self._running = True
+        self._thread = threading.Thread(target=self._loop,
+                                        name="audio-manager", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        self.client.set_redirect(False)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while self._running:
+            self.run_once(timeout=0.2)

@@ -1,0 +1,45 @@
+"""The audio protocol: wire format, requests, replies, events, errors.
+
+This package is shared verbatim by the server (:mod:`repro.server`) and
+the client library (:mod:`repro.alib`); it has no dependencies on either.
+"""
+
+from .types import (
+    ADPCM_8K,
+    ALAW_8K,
+    CallProgress,
+    Command,
+    CommandMode,
+    DEFAULT_PORT,
+    DeviceClass,
+    DeviceState,
+    Encoding,
+    ErrorCode,
+    EventCode,
+    EventMask,
+    MULAW_8K,
+    OpCode,
+    PCM16_8K,
+    PCM16_CD,
+    PortDirection,
+    PortInfo,
+    QueueOp,
+    QueueState,
+    RecordTermination,
+    SoundType,
+    StackPosition,
+)
+from .attributes import AttributeList
+from .errors import ProtocolError
+from .events import Event
+from .wire import ConnectionClosed, Message, MessageKind, WireFormatError
+
+__all__ = [
+    "ADPCM_8K", "ALAW_8K", "AttributeList", "CallProgress", "Command",
+    "CommandMode", "ConnectionClosed", "DEFAULT_PORT", "DeviceClass",
+    "DeviceState", "Encoding", "ErrorCode", "Event", "EventCode",
+    "EventMask", "MULAW_8K", "Message", "MessageKind", "OpCode", "PCM16_8K",
+    "PCM16_CD", "PortDirection", "PortInfo", "ProtocolError", "QueueOp",
+    "QueueState", "RecordTermination", "SoundType", "StackPosition",
+    "WireFormatError",
+]

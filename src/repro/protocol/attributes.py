@@ -1,0 +1,203 @@
+"""Attribute lists.
+
+"To facilitate device-independence, an application specifies the desired
+virtual device by a list of attributes.  The attributes can specify a
+device either tightly or loosely." (paper section 5.1)
+
+An attribute list is an ordered mapping of well-known (or extension) names
+to typed values.  The same representation serves three purposes:
+
+* constraints supplied at CreateVirtualDevice / AugmentVirtualDevice time,
+* capability descriptions of physical devices returned by queries,
+* the (name, value, type) *properties* attached to LOUDs and sounds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .types import SoundType, Encoding
+from .wire import Reader, Writer, WireFormatError
+
+# ---------------------------------------------------------------------------
+# Well-known attribute names
+# ---------------------------------------------------------------------------
+
+#: Restrict mapping to the physical device with this device-LOUD id.
+ATTR_DEVICE_ID = "device-id"
+#: Human-readable device name ("left speaker").
+ATTR_NAME = "name"
+#: Ambient domain name the device lives in (paper section 5.8).
+ATTR_AMBIENT_DOMAIN = "ambient-domain"
+#: Request preemptive use of the domain's inputs / outputs.
+ATTR_EXCLUSIVE_INPUT = "exclusive-input"
+ATTR_EXCLUSIVE_OUTPUT = "exclusive-output"
+#: Sound encoding the device must support.
+ATTR_ENCODING = "encoding"
+ATTR_SAMPLE_RATE = "sample-rate"
+ATTR_SAMPLE_SIZE = "sample-size"
+#: Recorder capabilities (paper section 5.1's recorder attribute examples).
+ATTR_AGC = "agc"
+ATTR_PAUSE_COMPRESSION = "pause-compression"
+ATTR_PAUSE_DETECTION = "pause-detection"
+#: Telephone attributes.
+ATTR_PHONE_NUMBER = "phone-number"
+ATTR_AREA_CODE = "area-code"
+ATTR_LINE_COUNT = "line-count"
+ATTR_CALLER_ID = "caller-id"
+ATTR_CALL_FORWARD_INFO = "call-forward-info"
+ATTR_DIGITAL = "digital"
+#: Mixer / crossbar geometry.
+ATTR_INPUT_COUNT = "input-count"
+ATTR_OUTPUT_COUNT = "output-count"
+#: Marks devices that may not be re-wired (hard-wired speakerphone parts).
+ATTR_HARD_WIRED = "hard-wired"
+#: Number of gain steps an input/output supports.
+ATTR_GAIN_RANGE = "gain-range"
+
+
+class ValueType(enum.IntEnum):
+    """Wire tag of an attribute value."""
+
+    INTEGER = 0
+    STRING = 1
+    BOOLEAN = 2
+    FLOAT = 3
+    SOUND_TYPE = 4
+    INT_LIST = 5
+    STRING_LIST = 6
+    BYTES = 7
+
+
+AttrValue = int | str | bool | float | SoundType | list | bytes
+
+
+def _type_of(value: AttrValue) -> ValueType:
+    # bool before int: bool is an int subclass.
+    if isinstance(value, bool):
+        return ValueType.BOOLEAN
+    if isinstance(value, int):
+        return ValueType.INTEGER
+    if isinstance(value, str):
+        return ValueType.STRING
+    if isinstance(value, float):
+        return ValueType.FLOAT
+    if isinstance(value, SoundType):
+        return ValueType.SOUND_TYPE
+    if isinstance(value, bytes):
+        return ValueType.BYTES
+    if isinstance(value, list):
+        if all(isinstance(item, int) for item in value):
+            return ValueType.INT_LIST
+        if all(isinstance(item, str) for item in value):
+            return ValueType.STRING_LIST
+        raise WireFormatError("attribute lists must be all-int or all-str")
+    raise WireFormatError("unsupported attribute value %r" % (value,))
+
+
+def write_value(writer: Writer, value: AttrValue) -> None:
+    """Marshal one tagged value."""
+    vtype = _type_of(value)
+    writer.u8(int(vtype))
+    if vtype is ValueType.INTEGER:
+        writer.i64(value)
+    elif vtype is ValueType.STRING:
+        writer.string(value)
+    elif vtype is ValueType.BOOLEAN:
+        writer.boolean(value)
+    elif vtype is ValueType.FLOAT:
+        writer.f64(value)
+    elif vtype is ValueType.SOUND_TYPE:
+        writer.u8(int(value.encoding))
+        writer.u8(value.samplesize)
+        writer.u32(value.samplerate)
+    elif vtype is ValueType.BYTES:
+        writer.blob(value)
+    elif vtype is ValueType.INT_LIST:
+        writer.u32(len(value))
+        for item in value:
+            writer.i64(item)
+    elif vtype is ValueType.STRING_LIST:
+        writer.u32(len(value))
+        for item in value:
+            writer.string(item)
+
+
+def read_value(reader: Reader) -> AttrValue:
+    """Unmarshal one tagged value."""
+    vtype = ValueType(reader.u8())
+    if vtype is ValueType.INTEGER:
+        return reader.i64()
+    if vtype is ValueType.STRING:
+        return reader.string()
+    if vtype is ValueType.BOOLEAN:
+        return reader.boolean()
+    if vtype is ValueType.FLOAT:
+        return reader.f64()
+    if vtype is ValueType.SOUND_TYPE:
+        encoding = Encoding(reader.u8())
+        samplesize = reader.u8()
+        samplerate = reader.u32()
+        return SoundType(encoding, samplesize, samplerate)
+    if vtype is ValueType.BYTES:
+        return reader.blob()
+    if vtype is ValueType.INT_LIST:
+        count = reader.u32()
+        return [reader.i64() for _ in range(count)]
+    if vtype is ValueType.STRING_LIST:
+        count = reader.u32()
+        return [reader.string() for _ in range(count)]
+    raise WireFormatError("unknown attribute value type %d" % vtype)
+
+
+@dataclass
+class AttributeList:
+    """An ordered name -> typed value mapping with wire marshalling."""
+
+    items: dict[str, AttrValue] = field(default_factory=dict)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.items
+
+    def __getitem__(self, name: str) -> AttrValue:
+        return self.items[name]
+
+    def __setitem__(self, name: str, value: AttrValue) -> None:
+        self.items[name] = value
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def get(self, name: str, default: AttrValue | None = None):
+        return self.items.get(name, default)
+
+    def merged_with(self, other: "AttributeList") -> "AttributeList":
+        """A new list with ``other``'s entries overriding ours."""
+        merged = dict(self.items)
+        merged.update(other.items)
+        return AttributeList(merged)
+
+    def write(self, writer: Writer) -> None:
+        writer.u32(len(self.items))
+        for name, value in self.items.items():
+            writer.string(name)
+            write_value(writer, value)
+
+    @classmethod
+    def read(cls, reader: Reader) -> "AttributeList":
+        count = reader.u32()
+        items: dict[str, AttrValue] = {}
+        for _ in range(count):
+            name = reader.string()
+            items[name] = read_value(reader)
+        return cls(items)
+
+    @classmethod
+    def of(cls, **kwargs: AttrValue) -> "AttributeList":
+        """Build a list from keyword args; underscores become dashes."""
+        return cls({key.replace("_", "-"): value
+                    for key, value in kwargs.items()})

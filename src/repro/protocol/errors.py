@@ -1,0 +1,66 @@
+"""Protocol errors.
+
+"Errors are also generated asynchronously, and applications must be
+prepared to process them at arbitrary times after the erroneous request."
+(paper section 4.1)
+
+An error message carries the error code, the sequence number of the
+request that caused it, the opcode of that request, the offending resource
+id, and a human-readable explanation (for developers; programs switch on
+the code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .types import ErrorCode
+from .wire import Message, MessageKind, Reader, Writer
+
+
+@dataclass
+class ProtocolError(Exception):
+    """An error as it travels on the wire and as Alib raises it."""
+
+    code: ErrorCode
+    sequence: int = 0
+    opcode: int = 0
+    resource: int = 0
+    message: str = ""
+
+    def __str__(self) -> str:
+        text = "%s (request #%d, opcode %d, resource %d)" % (
+            self.code.name, self.sequence, self.opcode, self.resource)
+        if self.message:
+            text = "%s: %s" % (text, self.message)
+        return text
+
+    def encode(self) -> Message:
+        writer = Writer()
+        writer.u16(self.opcode)
+        writer.u32(self.resource)
+        writer.string(self.message)
+        return Message(MessageKind.ERROR, int(self.code), self.sequence,
+                       writer.getvalue())
+
+    @classmethod
+    def decode(cls, message: Message) -> "ProtocolError":
+        from .wire import WireFormatError
+
+        reader = Reader(message.payload)
+        try:
+            opcode = reader.u16()
+            resource = reader.u32()
+            text = reader.string()
+            code = ErrorCode(message.code)
+        except WireFormatError:
+            raise
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise WireFormatError("malformed error message: %s"
+                                  % exc) from exc
+        return cls(code, message.sequence, opcode, resource, text)
+
+
+def bad(code: ErrorCode, message: str = "", resource: int = 0) -> ProtocolError:
+    """Convenience constructor used throughout the server."""
+    return ProtocolError(code=code, resource=resource, message=message)

@@ -1,0 +1,90 @@
+"""Event message bodies.
+
+"An event is data generated asynchronously by the audio server as a result
+of some device activity or as a side-effect of a protocol request."
+(paper section 5.7)
+
+All events share a common envelope: the resource the event concerns (a
+LOUD, virtual device, or sound id), the server sample-time at which it
+occurred, a detail code, and an attribute list for class-specific data.
+A single body shape keeps event parsing trivial for clients while the
+attribute list leaves room for device subclasses to extend events without
+protocol changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .attributes import AttributeList
+from .types import EventCode
+from .wire import Message, MessageKind, Reader, Writer
+
+
+@dataclass
+class Event:
+    """One protocol event."""
+
+    code: EventCode
+    resource: int = 0
+    detail: int = 0
+    sample_time: int = 0
+    args: AttributeList = field(default_factory=AttributeList)
+    sequence: int = 0   # sequence number of the last request processed
+
+    def encode(self) -> Message:
+        writer = Writer()
+        writer.u32(self.resource)
+        writer.i32(self.detail)
+        writer.u64(self.sample_time)
+        self.args.write(writer)
+        return Message(MessageKind.EVENT, int(self.code),
+                       self.sequence, writer.getvalue())
+
+    @classmethod
+    def decode(cls, message: Message) -> "Event":
+        from .wire import WireFormatError
+
+        reader = Reader(message.payload)
+        try:
+            resource = reader.u32()
+            detail = reader.i32()
+            sample_time = reader.u64()
+            args = AttributeList.read(reader)
+            code = EventCode(message.code)
+        except WireFormatError:
+            raise
+        except (ValueError, OverflowError, UnicodeDecodeError) as exc:
+            raise WireFormatError("malformed event: %s" % exc) from exc
+        return cls(code, resource, detail, sample_time, args,
+                   message.sequence)
+
+
+# Well-known argument keys used inside event attribute lists.
+
+#: COMMAND_DONE / SYNC: which queued command (per-queue serial number).
+ARG_COMMAND_SERIAL = "command-serial"
+#: COMMAND_DONE: the command code that finished.
+ARG_COMMAND = "command"
+#: CALL_PROGRESS / TELEPHONE_RING: calling party information, if known.
+ARG_CALLER_ID = "caller-id"
+ARG_FORWARDED_FROM = "forwarded-from"
+#: DTMF_NOTIFY: the digit detected ("0"-"9", "*", "#", "A"-"D").
+ARG_DIGIT = "digit"
+#: RECOGNITION: the word recognized and the match score.
+ARG_WORD = "word"
+ARG_SCORE = "score"
+#: SYNC: playback progress within the current sound.
+ARG_FRAMES_DONE = "frames-done"
+ARG_FRAMES_TOTAL = "frames-total"
+#: DATA_REQUEST: how many more frames the server can buffer.
+ARG_FRAMES_WANTED = "frames-wanted"
+#: DATA_AVAILABLE: how many bytes of recorded data are ready.
+ARG_BYTES_AVAILABLE = "bytes-available"
+#: MAP_REQUEST / RESTACK_REQUEST: the client whose request was redirected.
+ARG_CLIENT = "client"
+ARG_POSITION = "position"
+#: PROPERTY_NOTIFY: which property changed (detail: 0=new/changed 1=deleted).
+ARG_PROPERTY_NAME = "property-name"
+#: DEVICE_STATE: the physical device id whose state changed.
+ARG_DEVICE_ID = "device-id"

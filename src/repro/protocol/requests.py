@@ -1,0 +1,1125 @@
+"""Request and reply message bodies.
+
+One dataclass per protocol request, each knowing how to marshal itself to
+and from a payload.  Requests are asynchronous (paper section 4.1): the
+client sends them without waiting; only "state queries, for instance" have
+replies, which the server sends back tagged with the request's sequence
+number.
+
+Conventions:
+
+* every request class carries its :data:`~repro.protocol.types.OpCode` in
+  ``OPCODE`` and is registered in :data:`REQUEST_CLASSES`;
+* requests that produce a reply name the reply class in ``REPLY``;
+* resource ids are 32-bit, client-allocated out of the id range granted at
+  connection setup (CreateLoud, CreateVirtualDevice, CreateWire,
+  CreateSound all take the new id from the client, exactly as X does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .attributes import AttributeList
+from .types import (
+    Command,
+    CommandMode,
+    DeviceClass,
+    EventMask,
+    OpCode,
+    QueueOp,
+    QueueState,
+    SoundType,
+    StackPosition,
+)
+from .wire import Reader, WireFormatError, Writer
+
+
+def _write_sound_type(writer: Writer, sound_type: SoundType) -> None:
+    writer.u8(int(sound_type.encoding))
+    writer.u8(sound_type.samplesize)
+    writer.u32(sound_type.samplerate)
+
+
+def _read_sound_type(reader: Reader) -> SoundType:
+    from .types import Encoding
+
+    encoding = Encoding(reader.u8())
+    samplesize = reader.u8()
+    samplerate = reader.u32()
+    return SoundType(encoding, samplesize, samplerate)
+
+
+class Request:
+    """Base class; concrete requests override the marshalling hooks."""
+
+    OPCODE: OpCode
+    REPLY: type | None = None
+
+    def write_payload(self, writer: Writer) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "Request":
+        raise NotImplementedError
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        self.write_payload(writer)
+        return writer.getvalue()
+
+
+class Reply:
+    """Base class for reply bodies."""
+
+    def write_payload(self, writer: Writer) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "Reply":
+        raise NotImplementedError
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        self.write_payload(writer)
+        return writer.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# LOUD lifecycle
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CreateLoud(Request):
+    """Create a LOUD, optionally as a child of ``parent`` (0 = root)."""
+
+    OPCODE = OpCode.CREATE_LOUD
+
+    loud: int
+    parent: int = 0
+    attributes: AttributeList = field(default_factory=AttributeList)
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.loud)
+        writer.u32(self.parent)
+        self.attributes.write(writer)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "CreateLoud":
+        return cls(reader.u32(), reader.u32(), AttributeList.read(reader))
+
+
+@dataclass
+class DestroyLoud(Request):
+    OPCODE = OpCode.DESTROY_LOUD
+
+    loud: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.loud)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "DestroyLoud":
+        return cls(reader.u32())
+
+
+@dataclass
+class CreateVirtualDevice(Request):
+    """Create a virtual device of ``device_class`` inside ``loud``.
+
+    The application "need only specify the class and other attributes of
+    the device, rather than the specific hardware" (paper section 5.1).
+    """
+
+    OPCODE = OpCode.CREATE_VIRTUAL_DEVICE
+
+    device: int
+    loud: int
+    device_class: DeviceClass
+    attributes: AttributeList = field(default_factory=AttributeList)
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.device)
+        writer.u32(self.loud)
+        writer.u16(int(self.device_class))
+        self.attributes.write(writer)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "CreateVirtualDevice":
+        device = reader.u32()
+        loud = reader.u32()
+        class_code = reader.u16()
+        try:
+            # Extension class codes (the server's device subclassing
+            # mechanism) travel as raw integers beyond the base enum.
+            class_code = DeviceClass(class_code)
+        except ValueError:
+            pass
+        return cls(device, loud, class_code, AttributeList.read(reader))
+
+
+@dataclass
+class DestroyVirtualDevice(Request):
+    OPCODE = OpCode.DESTROY_VIRTUAL_DEVICE
+
+    device: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.device)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "DestroyVirtualDevice":
+        return cls(reader.u32())
+
+
+@dataclass
+class CreateWire(Request):
+    """Wire a source port to a sink port, optionally constraining the type.
+
+    ``wire_type`` of ``None`` lets the server infer the type from the two
+    ports; a concrete type makes the server verify it (paper section 5.2).
+    """
+
+    OPCODE = OpCode.CREATE_WIRE
+
+    wire: int
+    source_device: int
+    source_port: int
+    sink_device: int
+    sink_port: int
+    wire_type: SoundType | None = None
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.wire)
+        writer.u32(self.source_device)
+        writer.u16(self.source_port)
+        writer.u32(self.sink_device)
+        writer.u16(self.sink_port)
+        writer.boolean(self.wire_type is not None)
+        if self.wire_type is not None:
+            _write_sound_type(writer, self.wire_type)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "CreateWire":
+        wire = reader.u32()
+        source_device = reader.u32()
+        source_port = reader.u16()
+        sink_device = reader.u32()
+        sink_port = reader.u16()
+        wire_type = _read_sound_type(reader) if reader.boolean() else None
+        return cls(wire, source_device, source_port, sink_device, sink_port,
+                   wire_type)
+
+
+@dataclass
+class DestroyWire(Request):
+    OPCODE = OpCode.DESTROY_WIRE
+
+    wire: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.wire)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "DestroyWire":
+        return cls(reader.u32())
+
+
+@dataclass
+class MapLoud(Request):
+    """Map a root LOUD: bind virtual devices and join the active stack."""
+
+    OPCODE = OpCode.MAP_LOUD
+
+    loud: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.loud)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "MapLoud":
+        return cls(reader.u32())
+
+
+@dataclass
+class UnmapLoud(Request):
+    OPCODE = OpCode.UNMAP_LOUD
+
+    loud: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.loud)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "UnmapLoud":
+        return cls(reader.u32())
+
+
+@dataclass
+class RestackLoud(Request):
+    """Move a mapped LOUD to the top or bottom of the active stack."""
+
+    OPCODE = OpCode.RESTACK_LOUD
+
+    loud: int
+    position: StackPosition = StackPosition.TOP
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.loud)
+        writer.u8(int(self.position))
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "RestackLoud":
+        return cls(reader.u32(), StackPosition(reader.u8()))
+
+
+@dataclass
+class QueryLoudReply(Reply):
+    """Tree and status information for one LOUD."""
+
+    parent: int
+    children: list[int]
+    devices: list[int]
+    mapped: bool
+    active: bool
+    stack_index: int        # position on the active stack, -1 if unmapped
+    attributes: AttributeList
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.parent)
+        writer.u32(len(self.children))
+        for child in self.children:
+            writer.u32(child)
+        writer.u32(len(self.devices))
+        for device in self.devices:
+            writer.u32(device)
+        writer.boolean(self.mapped)
+        writer.boolean(self.active)
+        writer.i32(self.stack_index)
+        self.attributes.write(writer)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryLoudReply":
+        parent = reader.u32()
+        children = [reader.u32() for _ in range(reader.u32())]
+        devices = [reader.u32() for _ in range(reader.u32())]
+        mapped = reader.boolean()
+        active = reader.boolean()
+        stack_index = reader.i32()
+        attributes = AttributeList.read(reader)
+        return cls(parent, children, devices, mapped, active, stack_index,
+                   attributes)
+
+
+@dataclass
+class QueryLoud(Request):
+    OPCODE = OpCode.QUERY_LOUD
+    REPLY = QueryLoudReply
+
+    loud: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.loud)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryLoud":
+        return cls(reader.u32())
+
+
+@dataclass
+class QueryVirtualDeviceReply(Reply):
+    """Attributes of a virtual device, including its binding.
+
+    After mapping, the returned attributes contain "among other things, the
+    device ID selected by the server" (paper section 5.3) under the
+    ``device-id`` key.
+    """
+
+    device_class: DeviceClass
+    attributes: AttributeList
+    ports: list[tuple[int, int, SoundType]]  # (index, direction, type)
+    wires: list[int]
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u16(int(self.device_class))
+        self.attributes.write(writer)
+        writer.u32(len(self.ports))
+        for index, direction, sound_type in self.ports:
+            writer.u16(index)
+            writer.u8(direction)
+            _write_sound_type(writer, sound_type)
+        writer.u32(len(self.wires))
+        for wire in self.wires:
+            writer.u32(wire)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryVirtualDeviceReply":
+        device_class = reader.u16()
+        try:
+            device_class = DeviceClass(device_class)
+        except ValueError:
+            pass    # extension class code
+        attributes = AttributeList.read(reader)
+        ports = []
+        for _ in range(reader.u32()):
+            index = reader.u16()
+            direction = reader.u8()
+            ports.append((index, direction, _read_sound_type(reader)))
+        wires = [reader.u32() for _ in range(reader.u32())]
+        return cls(device_class, attributes, ports, wires)
+
+
+@dataclass
+class QueryVirtualDevice(Request):
+    OPCODE = OpCode.QUERY_VIRTUAL_DEVICE
+    REPLY = QueryVirtualDeviceReply
+
+    device: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.device)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryVirtualDevice":
+        return cls(reader.u32())
+
+
+@dataclass
+class AugmentVirtualDevice(Request):
+    """Tighten a virtual device's constraints after creation.
+
+    "This device ID can then be specified in an AugmentVirtualDevice
+    request, so that it becomes an application-specified constraint."
+    """
+
+    OPCODE = OpCode.AUGMENT_VIRTUAL_DEVICE
+
+    device: int
+    attributes: AttributeList
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.device)
+        self.attributes.write(writer)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "AugmentVirtualDevice":
+        return cls(reader.u32(), AttributeList.read(reader))
+
+
+@dataclass
+class QueryWireReply(Reply):
+    source_device: int
+    source_port: int
+    sink_device: int
+    sink_port: int
+    wire_type: SoundType
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.source_device)
+        writer.u16(self.source_port)
+        writer.u32(self.sink_device)
+        writer.u16(self.sink_port)
+        _write_sound_type(writer, self.wire_type)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryWireReply":
+        return cls(reader.u32(), reader.u16(), reader.u32(), reader.u16(),
+                   _read_sound_type(reader))
+
+
+@dataclass
+class QueryWire(Request):
+    OPCODE = OpCode.QUERY_WIRE
+    REPLY = QueryWireReply
+
+    wire: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.wire)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryWire":
+        return cls(reader.u32())
+
+
+# ---------------------------------------------------------------------------
+# Sounds
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CreateSound(Request):
+    """Create an empty server-side sound of the given type."""
+
+    OPCODE = OpCode.CREATE_SOUND
+
+    sound: int
+    sound_type: SoundType
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.sound)
+        _write_sound_type(writer, self.sound_type)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "CreateSound":
+        return cls(reader.u32(), _read_sound_type(reader))
+
+
+@dataclass
+class DestroySound(Request):
+    OPCODE = OpCode.DESTROY_SOUND
+
+    sound: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.sound)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "DestroySound":
+        return cls(reader.u32())
+
+
+@dataclass
+class WriteSoundData(Request):
+    """Supply sound data; offset -1 appends (the streaming case)."""
+
+    OPCODE = OpCode.WRITE_SOUND_DATA
+
+    sound: int
+    offset: int
+    data: bytes
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.sound)
+        writer.i64(self.offset)
+        writer.blob(self.data)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "WriteSoundData":
+        return cls(reader.u32(), reader.i64(), reader.blob())
+
+
+@dataclass
+class ReadSoundDataReply(Reply):
+    data: bytes
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.blob(self.data)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "ReadSoundDataReply":
+        return cls(reader.blob())
+
+
+@dataclass
+class ReadSoundData(Request):
+    OPCODE = OpCode.READ_SOUND_DATA
+    REPLY = ReadSoundDataReply
+
+    sound: int
+    offset: int
+    length: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.sound)
+        writer.u64(self.offset)
+        writer.u64(self.length)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "ReadSoundData":
+        return cls(reader.u32(), reader.u64(), reader.u64())
+
+
+@dataclass
+class QuerySoundReply(Reply):
+    sound_type: SoundType
+    byte_length: int
+    frame_length: int
+    is_stream: bool
+    name: str
+
+    def write_payload(self, writer: Writer) -> None:
+        _write_sound_type(writer, self.sound_type)
+        writer.u64(self.byte_length)
+        writer.u64(self.frame_length)
+        writer.boolean(self.is_stream)
+        writer.string(self.name)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QuerySoundReply":
+        return cls(_read_sound_type(reader), reader.u64(), reader.u64(),
+                   reader.boolean(), reader.string())
+
+
+@dataclass
+class QuerySound(Request):
+    OPCODE = OpCode.QUERY_SOUND
+    REPLY = QuerySoundReply
+
+    sound: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.sound)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QuerySound":
+        return cls(reader.u32())
+
+
+@dataclass
+class ListCatalogueReply(Reply):
+    names: list[str]
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(len(self.names))
+        for name in self.names:
+            writer.string(name)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "ListCatalogueReply":
+        return cls([reader.string() for _ in range(reader.u32())])
+
+
+@dataclass
+class ListCatalogue(Request):
+    """List the named sounds in a server-side catalogue."""
+
+    OPCODE = OpCode.LIST_CATALOGUE
+    REPLY = ListCatalogueReply
+
+    catalogue: str = ""
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.string(self.catalogue)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "ListCatalogue":
+        return cls(reader.string())
+
+
+@dataclass
+class LoadSound(Request):
+    """Bind a catalogue entry (by name) to a client sound id."""
+
+    OPCODE = OpCode.LOAD_SOUND
+
+    sound: int
+    name: str
+    catalogue: str = ""
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.sound)
+        writer.string(self.name)
+        writer.string(self.catalogue)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "LoadSound":
+        return cls(reader.u32(), reader.string(), reader.string())
+
+
+@dataclass
+class SetSoundStream(Request):
+    """Mark a sound as a bounded real-time stream buffer.
+
+    The server emits DATA_REQUEST events when the buffer runs low
+    (client-side writing of real-time data, paper section 6.2).
+    """
+
+    OPCODE = OpCode.SET_SOUND_STREAM
+
+    sound: int
+    buffer_frames: int
+    low_water_frames: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.sound)
+        writer.u64(self.buffer_frames)
+        writer.u64(self.low_water_frames)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "SetSoundStream":
+        return cls(reader.u32(), reader.u64(), reader.u64())
+
+
+# ---------------------------------------------------------------------------
+# Commands and queues
+# ---------------------------------------------------------------------------
+
+@dataclass
+class IssueCommand(Request):
+    """Issue a device or queue command to a root LOUD.
+
+    ``device`` is 0 for queue pseudo-commands (CoBegin/CoEnd/Delay/
+    DelayEnd); command arguments travel as an attribute list whose keys are
+    documented on each command's executor.
+    """
+
+    OPCODE = OpCode.ISSUE_COMMAND
+
+    loud: int
+    device: int
+    command: Command
+    mode: CommandMode = CommandMode.QUEUED
+    args: AttributeList = field(default_factory=AttributeList)
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.loud)
+        writer.u32(self.device)
+        writer.u16(int(self.command))
+        writer.u8(int(self.mode))
+        self.args.write(writer)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "IssueCommand":
+        return cls(reader.u32(), reader.u32(), Command(reader.u16()),
+                   CommandMode(reader.u8()), AttributeList.read(reader))
+
+
+@dataclass
+class ControlQueue(Request):
+    """Start, stop, pause, resume or flush a root LOUD's command queue."""
+
+    OPCODE = OpCode.CONTROL_QUEUE
+
+    loud: int
+    op: QueueOp
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.loud)
+        writer.u8(int(self.op))
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "ControlQueue":
+        return cls(reader.u32(), QueueOp(reader.u8()))
+
+
+@dataclass
+class QueryQueueReply(Reply):
+    state: QueueState
+    pending: int            # commands not yet started
+    running: int            # commands currently executing
+    completed: int          # commands completed since queue creation
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u8(int(self.state))
+        writer.u32(self.pending)
+        writer.u32(self.running)
+        writer.u64(self.completed)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryQueueReply":
+        return cls(QueueState(reader.u8()), reader.u32(), reader.u32(),
+                   reader.u64())
+
+
+@dataclass
+class QueryQueue(Request):
+    OPCODE = OpCode.QUERY_QUEUE
+    REPLY = QueryQueueReply
+
+    loud: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.loud)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryQueue":
+        return cls(reader.u32())
+
+
+# ---------------------------------------------------------------------------
+# Events, properties, manager support
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SelectEvents(Request):
+    """Choose which event families this client receives for a resource."""
+
+    OPCODE = OpCode.SELECT_EVENTS
+
+    resource: int
+    mask: EventMask
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.resource)
+        writer.u32(int(self.mask))
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "SelectEvents":
+        return cls(reader.u32(), EventMask(reader.u32()))
+
+
+@dataclass
+class ChangeProperty(Request):
+    """Attach a (name, value, type) property to a LOUD or sound."""
+
+    OPCODE = OpCode.CHANGE_PROPERTY
+
+    resource: int
+    name: str
+    value: object   # any AttrValue
+
+    def write_payload(self, writer: Writer) -> None:
+        from .attributes import write_value
+
+        writer.u32(self.resource)
+        writer.string(self.name)
+        write_value(writer, self.value)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "ChangeProperty":
+        from .attributes import read_value
+
+        return cls(reader.u32(), reader.string(), read_value(reader))
+
+
+@dataclass
+class GetPropertyReply(Reply):
+    exists: bool
+    value: object
+
+    def write_payload(self, writer: Writer) -> None:
+        from .attributes import write_value
+
+        writer.boolean(self.exists)
+        if self.exists:
+            write_value(writer, self.value)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "GetPropertyReply":
+        from .attributes import read_value
+
+        exists = reader.boolean()
+        value = read_value(reader) if exists else None
+        return cls(exists, value)
+
+
+@dataclass
+class GetProperty(Request):
+    OPCODE = OpCode.GET_PROPERTY
+    REPLY = GetPropertyReply
+
+    resource: int
+    name: str
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.resource)
+        writer.string(self.name)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "GetProperty":
+        return cls(reader.u32(), reader.string())
+
+
+@dataclass
+class DeleteProperty(Request):
+    OPCODE = OpCode.DELETE_PROPERTY
+
+    resource: int
+    name: str
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.resource)
+        writer.string(self.name)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "DeleteProperty":
+        return cls(reader.u32(), reader.string())
+
+
+@dataclass
+class ListPropertiesReply(Reply):
+    names: list[str]
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(len(self.names))
+        for name in self.names:
+            writer.string(name)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "ListPropertiesReply":
+        return cls([reader.string() for _ in range(reader.u32())])
+
+
+@dataclass
+class ListProperties(Request):
+    OPCODE = OpCode.LIST_PROPERTIES
+    REPLY = ListPropertiesReply
+
+    resource: int
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.resource)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "ListProperties":
+        return cls(reader.u32())
+
+
+@dataclass
+class SetRedirect(Request):
+    """Become (or stop being) the audio manager.
+
+    When enabled, map and restack requests from other clients are delivered
+    to this client as MAP_REQUEST / RESTACK_REQUEST events instead of being
+    performed (paper section 5.8).
+    """
+
+    OPCODE = OpCode.SET_REDIRECT
+
+    enabled: bool
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.boolean(self.enabled)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "SetRedirect":
+        return cls(reader.boolean())
+
+
+@dataclass
+class AllowRequest(Request):
+    """Audio-manager approval of a redirected map/restack.
+
+    ``position`` only matters for restacks; a map allowed with ``honor``
+    False is simply dropped.
+    """
+
+    OPCODE = OpCode.ALLOW_REQUEST
+
+    loud: int
+    opcode: OpCode          # MAP_LOUD or RESTACK_LOUD
+    honor: bool = True
+    position: StackPosition = StackPosition.TOP
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(self.loud)
+        writer.u16(int(self.opcode))
+        writer.boolean(self.honor)
+        writer.u8(int(self.position))
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "AllowRequest":
+        return cls(reader.u32(), OpCode(reader.u16()), reader.boolean(),
+                   StackPosition(reader.u8()))
+
+
+# ---------------------------------------------------------------------------
+# Server queries
+# ---------------------------------------------------------------------------
+
+@dataclass
+class QueryServerReply(Reply):
+    vendor: str
+    protocol_major: int
+    protocol_minor: int
+    encodings: list[int]
+    block_frames: int       # hub block size, for latency-aware clients
+    sample_rate: int        # native device-layer rate
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.string(self.vendor)
+        writer.u16(self.protocol_major)
+        writer.u16(self.protocol_minor)
+        writer.u32(len(self.encodings))
+        for encoding in self.encodings:
+            writer.u16(encoding)
+        writer.u32(self.block_frames)
+        writer.u32(self.sample_rate)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryServerReply":
+        vendor = reader.string()
+        major = reader.u16()
+        minor = reader.u16()
+        encodings = [reader.u16() for _ in range(reader.u32())]
+        block_frames = reader.u32()
+        sample_rate = reader.u32()
+        return cls(vendor, major, minor, encodings, block_frames, sample_rate)
+
+
+@dataclass
+class QueryServer(Request):
+    OPCODE = OpCode.QUERY_SERVER
+    REPLY = QueryServerReply
+
+    def write_payload(self, writer: Writer) -> None:
+        pass
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryServer":
+        return cls()
+
+
+@dataclass
+class DeviceDescription:
+    """One physical device in the device LOUD (paper section 5.1)."""
+
+    device_id: int
+    device_class: DeviceClass
+    name: str
+    attributes: AttributeList
+    hard_wired_to: list[int]
+
+    def write(self, writer: Writer) -> None:
+        writer.u32(self.device_id)
+        writer.u16(int(self.device_class))
+        writer.string(self.name)
+        self.attributes.write(writer)
+        writer.u32(len(self.hard_wired_to))
+        for other in self.hard_wired_to:
+            writer.u32(other)
+
+    @classmethod
+    def read(cls, reader: Reader) -> "DeviceDescription":
+        device_id = reader.u32()
+        device_class = DeviceClass(reader.u16())
+        name = reader.string()
+        attributes = AttributeList.read(reader)
+        hard_wired = [reader.u32() for _ in range(reader.u32())]
+        return cls(device_id, device_class, name, attributes, hard_wired)
+
+
+@dataclass
+class QueryDeviceLoudReply(Reply):
+    """The device LOUD: every physical device and its permanent wires."""
+
+    devices: list[DeviceDescription]
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(len(self.devices))
+        for device in self.devices:
+            device.write(writer)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryDeviceLoudReply":
+        return cls([DeviceDescription.read(reader)
+                    for _ in range(reader.u32())])
+
+
+@dataclass
+class QueryDeviceLoud(Request):
+    OPCODE = OpCode.QUERY_DEVICE_LOUD
+    REPLY = QueryDeviceLoudReply
+
+    def write_payload(self, writer: Writer) -> None:
+        pass
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryDeviceLoud":
+        return cls()
+
+
+@dataclass
+class QueryAmbientDomainsReply(Reply):
+    """Domain name -> device ids within it."""
+
+    domains: dict[str, list[int]]
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u32(len(self.domains))
+        for name, device_ids in self.domains.items():
+            writer.string(name)
+            writer.u32(len(device_ids))
+            for device_id in device_ids:
+                writer.u32(device_id)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryAmbientDomainsReply":
+        domains: dict[str, list[int]] = {}
+        for _ in range(reader.u32()):
+            name = reader.string()
+            domains[name] = [reader.u32() for _ in range(reader.u32())]
+        return cls(domains)
+
+
+@dataclass
+class QueryAmbientDomains(Request):
+    OPCODE = OpCode.QUERY_AMBIENT_DOMAINS
+    REPLY = QueryAmbientDomainsReply
+
+    def write_payload(self, writer: Writer) -> None:
+        pass
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "QueryAmbientDomains":
+        return cls()
+
+
+@dataclass
+class GetTimeReply(Reply):
+    """Server audio time in samples and seconds; a sync round-trip."""
+
+    sample_time: int
+    seconds: float
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.u64(self.sample_time)
+        writer.f64(self.seconds)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "GetTimeReply":
+        return cls(reader.u64(), reader.f64())
+
+
+@dataclass
+class GetTime(Request):
+    OPCODE = OpCode.GET_TIME
+    REPLY = GetTimeReply
+
+    def write_payload(self, writer: Writer) -> None:
+        pass
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "GetTime":
+        return cls()
+
+
+@dataclass
+class NoOperation(Request):
+    """Does nothing; useful for padding and benchmarks."""
+
+    OPCODE = OpCode.NO_OPERATION
+
+    def write_payload(self, writer: Writer) -> None:
+        pass
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "NoOperation":
+        return cls()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+REQUEST_CLASSES: dict[OpCode, type[Request]] = {
+    cls.OPCODE: cls
+    for cls in (
+        CreateLoud, DestroyLoud, CreateVirtualDevice, DestroyVirtualDevice,
+        CreateWire, DestroyWire, MapLoud, UnmapLoud, RestackLoud, QueryLoud,
+        QueryVirtualDevice, AugmentVirtualDevice, QueryWire, CreateSound,
+        DestroySound, WriteSoundData, ReadSoundData, QuerySound,
+        ListCatalogue, LoadSound, SetSoundStream, IssueCommand, ControlQueue,
+        QueryQueue, SelectEvents, ChangeProperty, GetProperty, DeleteProperty,
+        ListProperties, SetRedirect, AllowRequest, QueryServer,
+        QueryDeviceLoud, QueryAmbientDomains, GetTime, NoOperation,
+    )
+}
+
+
+def decode_request(opcode: int, payload: bytes) -> Request:
+    """Parse a request payload; raises WireFormatError on garbage."""
+    try:
+        cls = REQUEST_CLASSES[OpCode(opcode)]
+    except (ValueError, KeyError) as exc:
+        raise WireFormatError("unknown request opcode %d" % opcode) from exc
+    reader = Reader(payload)
+    try:
+        return cls.read_payload(reader)
+    except WireFormatError:
+        raise
+    except (ValueError, OverflowError, UnicodeDecodeError) as exc:
+        # Bad enum values, out-of-range integers, invalid UTF-8: all are
+        # malformed payloads, never decoder crashes.
+        raise WireFormatError("malformed %s payload: %s"
+                              % (cls.__name__, exc)) from exc

@@ -1,0 +1,89 @@
+"""Connection setup handshake.
+
+Before the message stream begins, the client sends a fixed setup request
+(magic + protocol version + client name) and the server answers with a
+setup reply granting a resource-id range and describing itself.  Resource
+ids are client-allocated out of the granted range, as in X: this lets the
+client create resources without a round trip per id.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+
+from .types import PROTOCOL_MAJOR, PROTOCOL_MINOR
+from .wire import (
+    ConnectionClosed,
+    Reader,
+    SETUP_MAGIC,
+    WireFormatError,
+    Writer,
+    recv_exact,
+)
+
+#: Number of resource ids granted to each client.
+ID_RANGE_BITS = 20
+ID_RANGE_SIZE = 1 << ID_RANGE_BITS
+
+
+@dataclass
+class SetupRequest:
+    major: int = PROTOCOL_MAJOR
+    minor: int = PROTOCOL_MINOR
+    client_name: str = ""
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.raw(SETUP_MAGIC)
+        writer.u16(self.major)
+        writer.u16(self.minor)
+        writer.string(self.client_name)
+        return writer.getvalue()
+
+    @classmethod
+    def read_from(cls, sock: socket.socket) -> "SetupRequest":
+        magic = recv_exact(sock, len(SETUP_MAGIC))
+        if magic != SETUP_MAGIC:
+            raise WireFormatError("bad setup magic %r" % magic)
+        header = recv_exact(sock, 4)
+        major, minor = struct.unpack("<HH", header)
+        name_len = struct.unpack("<I", recv_exact(sock, 4))[0]
+        if name_len > 4096:
+            raise WireFormatError("client name too long")
+        name = recv_exact(sock, name_len).decode("utf-8") if name_len else ""
+        return cls(major, minor, name)
+
+
+@dataclass
+class SetupReply:
+    accepted: bool
+    id_base: int = 0
+    id_mask: int = ID_RANGE_SIZE - 1
+    vendor: str = ""
+    reason: str = ""
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.boolean(self.accepted)
+        writer.u32(self.id_base)
+        writer.u32(self.id_mask)
+        writer.string(self.vendor)
+        writer.string(self.reason)
+        return writer.getvalue()
+
+    @classmethod
+    def read_from(cls, sock: socket.socket) -> "SetupReply":
+        accepted = recv_exact(sock, 1)[0] != 0
+        id_base, id_mask = struct.unpack("<II", recv_exact(sock, 8))
+        vendor = _read_string(sock)
+        reason = _read_string(sock)
+        return cls(accepted, id_base, id_mask, vendor, reason)
+
+
+def _read_string(sock: socket.socket) -> str:
+    size = struct.unpack("<I", recv_exact(sock, 4))[0]
+    if size > 1 << 20:
+        raise WireFormatError("setup string too long")
+    return recv_exact(sock, size).decode("utf-8") if size else ""

@@ -1,0 +1,229 @@
+"""Byte-stream framing and primitive marshalling.
+
+Clients and the server communicate over a reliable full duplex 8-bit byte
+stream; "a simple protocol is layered on top of this stream" (paper
+section 4.1).  This module implements that layer:
+
+* every message is a fixed 8-byte header followed by a payload,
+* the header carries the message *kind* (request / reply / event / error),
+  a kind-specific *code* (opcode, event code or error code), a 16-bit
+  sequence number, and the payload length,
+* :class:`Writer` and :class:`Reader` marshal the primitive types payloads
+  are built from.
+
+All integers are little-endian on the wire.  The tight definition makes the
+protocol independent of operating system, transport and language.
+"""
+
+from __future__ import annotations
+
+import enum
+import socket
+import struct
+from dataclasses import dataclass
+
+#: Magic bytes opening the connection-setup request.
+SETUP_MAGIC = b"AUDS"
+
+HEADER = struct.Struct("<BBHI")
+HEADER_SIZE = HEADER.size
+
+#: Refuse to parse payloads beyond this size; protects both ends against a
+#: corrupted length field consuming unbounded memory.
+MAX_PAYLOAD = 1 << 26
+
+
+class MessageKind(enum.IntEnum):
+    """Top-level discriminator in the message header."""
+
+    REQUEST = 0
+    REPLY = 1
+    EVENT = 2
+    ERROR = 3
+
+
+class WireFormatError(Exception):
+    """The byte stream does not parse as protocol messages."""
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the byte stream."""
+
+
+@dataclass
+class Message:
+    """One framed protocol message."""
+
+    kind: MessageKind
+    code: int
+    sequence: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        """Serialize header + payload to raw bytes."""
+        if len(self.payload) > MAX_PAYLOAD:
+            raise WireFormatError(
+                "payload of %d bytes exceeds maximum" % len(self.payload))
+        header = HEADER.pack(
+            int(self.kind), self.code, self.sequence & 0xFFFF,
+            len(self.payload))
+        return header + self.payload
+
+
+class Writer:
+    """Append-only buffer with typed put methods for payload marshalling."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        self._chunks.append(struct.pack("<B", value))
+        return self
+
+    def u16(self, value: int) -> "Writer":
+        self._chunks.append(struct.pack("<H", value))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        self._chunks.append(struct.pack("<I", value))
+        return self
+
+    def u64(self, value: int) -> "Writer":
+        self._chunks.append(struct.pack("<Q", value))
+        return self
+
+    def i32(self, value: int) -> "Writer":
+        self._chunks.append(struct.pack("<i", value))
+        return self
+
+    def i64(self, value: int) -> "Writer":
+        self._chunks.append(struct.pack("<q", value))
+        return self
+
+    def f64(self, value: float) -> "Writer":
+        self._chunks.append(struct.pack("<d", value))
+        return self
+
+    def boolean(self, value: bool) -> "Writer":
+        return self.u8(1 if value else 0)
+
+    def string(self, value: str) -> "Writer":
+        """Length-prefixed UTF-8 string."""
+        raw = value.encode("utf-8")
+        self.u32(len(raw))
+        self._chunks.append(raw)
+        return self
+
+    def blob(self, value: bytes) -> "Writer":
+        """Length-prefixed opaque bytes."""
+        self.u32(len(value))
+        self._chunks.append(bytes(value))
+        return self
+
+    def raw(self, value: bytes) -> "Writer":
+        """Bytes with no length prefix (caller knows the length)."""
+        self._chunks.append(bytes(value))
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class Reader:
+    """Cursor over a payload with typed take methods.
+
+    Raises :class:`WireFormatError` on truncation so a malformed request
+    turns into a BadRequest error rather than a server crash.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, size: int) -> bytes:
+        end = self._pos + size
+        if end > len(self._data):
+            raise WireFormatError(
+                "truncated payload: wanted %d bytes at offset %d of %d"
+                % (size, self._pos, len(self._data)))
+        chunk = self._data[self._pos:end]
+        self._pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def i32(self) -> int:
+        return struct.unpack("<i", self._take(4))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def boolean(self) -> bool:
+        return self.u8() != 0
+
+    def string(self) -> str:
+        size = self.u32()
+        return self._take(size).decode("utf-8")
+
+    def blob(self) -> bytes:
+        size = self.u32()
+        return self._take(size)
+
+    def raw(self, size: int) -> bytes:
+        return self._take(size)
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        return self._pos == len(self._data)
+
+    def expect_end(self) -> None:
+        if not self.at_end():
+            raise WireFormatError(
+                "%d unexpected trailing bytes in payload" % self.remaining())
+
+
+def recv_exact(sock: socket.socket, size: int) -> bytes:
+    """Read exactly ``size`` bytes or raise :class:`ConnectionClosed`."""
+    parts: list[bytes] = []
+    got = 0
+    while got < size:
+        chunk = sock.recv(size - got)
+        if not chunk:
+            raise ConnectionClosed("peer closed the connection")
+        parts.append(chunk)
+        got += len(chunk)
+    return b"".join(parts)
+
+
+def read_message(sock: socket.socket) -> Message:
+    """Read one framed message from a socket (blocking)."""
+    header = recv_exact(sock, HEADER_SIZE)
+    kind, code, sequence, length = HEADER.unpack(header)
+    if length > MAX_PAYLOAD:
+        raise WireFormatError("declared payload of %d bytes too large" % length)
+    try:
+        kind = MessageKind(kind)
+    except ValueError as exc:
+        raise WireFormatError("unknown message kind %d" % kind) from exc
+    payload = recv_exact(sock, length) if length else b""
+    return Message(kind, code, sequence, payload)
+
+
+def write_message(sock: socket.socket, message: Message) -> None:
+    """Write one framed message to a socket (blocking)."""
+    sock.sendall(message.encode())

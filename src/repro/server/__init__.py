@@ -1,0 +1,6 @@
+"""The audio server (paper sections 4-6)."""
+
+from .core import AudioServer
+from .resources import DEVICE_LOUD_ID
+
+__all__ = ["AudioServer", "DEVICE_LOUD_ID"]

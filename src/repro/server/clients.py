@@ -1,0 +1,132 @@
+"""Client connections.
+
+"The connection manager detects and manages incoming connections.  It is
+a daemon at a well-known port that detects incoming client connection
+requests and creates new connections for the clients ...  The connection
+manager keeps a container object for each client connection.  The
+container objects hold everything that is related to a particular client
+connection."  (paper section 6.1)
+
+Each client gets a reader thread (parses requests, dispatches under the
+server lock) and a writer thread (drains an outbound queue), so a slow
+client can never stall the audio hub.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+
+from ..protocol.errors import ProtocolError
+from ..protocol.events import Event
+from ..protocol.requests import Reply
+from ..protocol.types import EventMask
+from ..protocol.wire import (
+    ConnectionClosed,
+    Message,
+    MessageKind,
+    WireFormatError,
+    read_message,
+    write_message,
+)
+
+_SHUTDOWN = object()
+
+
+class ClientConnection:
+    """One connected client: its socket, threads, and selections."""
+
+    def __init__(self, server, sock: socket.socket, client_name: str,
+                 id_base: int) -> None:
+        self.server = server
+        self.sock = sock
+        self.name = client_name
+        self.id_base = id_base
+        self.sequence = 0           # requests processed so far (16-bit wrap)
+        self.closed = False
+        #: resource id -> EventMask, set via SelectEvents.
+        self._selections: dict[int, EventMask] = {}
+        #: True when this client is the audio manager (SetRedirect).
+        self.is_manager = False
+        self._outbound: queue.Queue = queue.Queue()
+        self._reader = threading.Thread(
+            target=self._read_loop, name="client-reader-%d" % id_base,
+            daemon=True)
+        self._writer = threading.Thread(
+            target=self._write_loop, name="client-writer-%d" % id_base,
+            daemon=True)
+
+    def start(self) -> None:
+        self._writer.start()
+        self._reader.start()
+
+    # -- selections ----------------------------------------------------------------
+
+    def select_events(self, resource: int, mask: EventMask) -> None:
+        if mask == EventMask.NONE:
+            self._selections.pop(resource, None)
+        else:
+            self._selections[resource] = mask
+
+    def selection_for(self, resource: int) -> EventMask:
+        return self._selections.get(resource, EventMask.NONE)
+
+    # -- outbound ---------------------------------------------------------------------
+
+    def send_event(self, event: Event) -> None:
+        if not self.closed:
+            self._outbound.put(event.encode())
+
+    def send_error(self, error: ProtocolError) -> None:
+        if not self.closed:
+            self._outbound.put(error.encode())
+
+    def send_reply(self, reply: Reply, sequence: int) -> None:
+        if not self.closed:
+            self._outbound.put(Message(MessageKind.REPLY, 0, sequence,
+                                       reply.encode()))
+
+    def _write_loop(self) -> None:
+        while True:
+            message = self._outbound.get()
+            if message is _SHUTDOWN:
+                break
+            try:
+                write_message(self.sock, message)
+            except OSError:
+                break
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+    # -- inbound -----------------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while not self.closed:
+                try:
+                    message = read_message(self.sock)
+                except (ConnectionClosed, OSError):
+                    break
+                if message.kind is not MessageKind.REQUEST:
+                    break   # clients only send requests
+                self.sequence = (self.sequence + 1) & 0xFFFF
+                self.server.dispatch_request(self, message)
+        except WireFormatError:
+            pass    # unframeable stream: drop the connection
+        finally:
+            self.server.client_disconnected(self)
+
+    # -- teardown --------------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._outbound.put(_SHUTDOWN)
+        try:
+            self.sock.close()
+        except OSError:
+            pass

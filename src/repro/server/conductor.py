@@ -1,0 +1,263 @@
+"""The command-queue conductor.
+
+"Queues allow for the sequential processing of commands within the
+server, without requiring application notification and the associated
+round-trip communication."  (paper section 5.5)
+
+The conductor runs inside the hub's block cycle, which is what makes
+sample-accurate sequencing possible:
+
+* **pre phase** (before devices render): start every eligible command at
+  its exact sample time, and *pre-issue* successors of commands that
+  will finish within this block ("When the first play command is about
+  to finish, the player device informs the queue of the time at which
+  the last sample will be played.  The queue can then issue the next
+  play command specifying that the play should start when the first
+  command is scheduled to terminate", paper section 6.2);
+* **post phase** (after devices render): collect actual completions,
+  emit COMMAND_DONE events, and advance the program for commands whose
+  end could not be predicted (a Dial, an open-ended Record).
+"""
+
+from __future__ import annotations
+
+from ..protocol import events as ev
+from ..protocol.attributes import AttributeList
+from ..protocol.errors import ProtocolError
+from ..protocol.types import (
+    Command,
+    CommandMode,
+    EventCode,
+    IMMEDIATE_OK,
+    QueueOp,
+    QueueState,
+)
+from ..protocol.errors import bad
+from ..protocol.types import ErrorCode
+from .qprogram import Leaf, QueueProgram
+
+
+class CommandQueue:
+    """One root LOUD's command queue and its execution state."""
+
+    def __init__(self, loud) -> None:
+        self.loud = loud
+        self.server = loud.server
+        self.state = QueueState.STOPPED
+        self.program = QueueProgram()
+        if self.server is not None:
+            self.program.sample_rate = self.server.hub.sample_rate
+        self.completed = 0
+        self._was_empty = True
+        self._pause_started: int | None = None
+
+    # -- issuing ------------------------------------------------------------------
+
+    def issue(self, device_id: int, command: Command, mode: CommandMode,
+              args: AttributeList, client=None) -> None:
+        """IssueCommand entry point (dispatch thread, server lock held)."""
+        if mode is CommandMode.IMMEDIATE:
+            self._issue_immediate(device_id, command, args)
+            return
+        leaf = self.program.add_command(device_id, command, args)
+        if leaf is not None:
+            leaf.issuer = client
+            self._was_empty = False
+            # Validate the device exists now so the error is synchronous.
+            if (leaf.command not in (Command.CO_BEGIN, Command.CO_END)
+                    and device_id != 0):
+                self.loud.find_device(device_id)
+
+    def _issue_immediate(self, device_id: int, command: Command,
+                         args: AttributeList) -> None:
+        """"In immediate mode, a command takes effect instantaneously,
+        and can stop processing of a queued command."
+        """
+        if command not in IMMEDIATE_OK:
+            raise bad(ErrorCode.BAD_MATCH,
+                      "%s cannot be issued in immediate mode" % command.name)
+        if not self.loud.mapped:
+            # "Any commands sent to them will be ignored until they are
+            # activated." (paper section 5.9, on unmapped devices)
+            return
+        device = self.loud.find_device(device_id)
+        leaf = Leaf(device_id, command, args)
+        leaf.queued = False
+        now = self.server.hub.sample_time
+        device.start_command(leaf, now)
+
+    # -- queue control ---------------------------------------------------------------
+
+    def control(self, op: QueueOp) -> None:
+        now = self.server.hub.sample_time
+        if op is QueueOp.START:
+            if self.state is QueueState.STOPPED:
+                self.state = QueueState.STARTED
+                self.program.arm(now)
+                self._emit(EventCode.QUEUE_STARTED, now)
+        elif op is QueueOp.STOP:
+            self._stop(now)
+        elif op is QueueOp.PAUSE:
+            if self.state is QueueState.STARTED:
+                self._pause(now, QueueState.CLIENT_PAUSED)
+        elif op is QueueOp.RESUME:
+            if self.state is QueueState.CLIENT_PAUSED:
+                self._resume(now)
+        elif op is QueueOp.FLUSH:
+            self.program.flush_pending()
+
+    def _stop(self, now: int) -> None:
+        if self.state is QueueState.STOPPED:
+            return
+        for leaf in self.program.running_leaves():
+            handle = getattr(leaf, "handle", None)
+            if handle is not None and not handle.finished:
+                handle.cancel(now)
+        self.state = QueueState.STOPPED
+        self._emit(EventCode.QUEUE_STOPPED, now)
+
+    def _pause(self, now: int, new_state: QueueState) -> None:
+        """"If the application issues a request to pause a queue in which
+        the current command is operating on a device that cannot be
+        paused, the queue is stopped."
+        """
+        for leaf in self.program.running_leaves():
+            handle = getattr(leaf, "handle", None)
+            if handle is not None and not handle.can_pause:
+                self._stop(now)
+                return
+        for leaf in self.program.running_leaves():
+            handle = getattr(leaf, "handle", None)
+            if handle is not None:
+                handle.pause()
+        self.state = new_state
+        self._pause_started = now
+        self._emit(EventCode.QUEUE_PAUSED, now)
+
+    def _resume(self, now: int) -> None:
+        # Queue-relative time was suspended: shift eligible-but-unstarted
+        # commands by the pause duration.
+        if self._pause_started is not None:
+            shift = now - self._pause_started
+            for leaf in self.program.ready_leaves():
+                leaf.not_before += shift
+            self._pause_started = None
+        for leaf in self.program.running_leaves():
+            handle = getattr(leaf, "handle", None)
+            if handle is not None:
+                handle.resume()
+        self.state = QueueState.STARTED
+        self._emit(EventCode.QUEUE_RESUMED, now)
+
+    # -- activation interplay (paper section 5.5) ----------------------------------------
+
+    def server_pause(self) -> None:
+        """"If a LOUD is made inactive while processing a command, the
+        server pauses the queue."
+        """
+        if self.state is QueueState.STARTED:
+            self._pause(self.server.hub.sample_time,
+                        QueueState.SERVER_PAUSED)
+
+    def server_resume(self) -> None:
+        """"Upon activation of a LOUD, a queue in the server-paused state
+        is automatically resumed."
+        """
+        if self.state is QueueState.SERVER_PAUSED:
+            self._resume(self.server.hub.sample_time)
+
+    # -- the block cycle -----------------------------------------------------------------
+
+    def tick_pre(self, now: int, frames: int) -> None:
+        """Start eligible commands; pre-issue predictable successors."""
+        if self.state is not QueueState.STARTED:
+            return
+        block_end = now + frames
+        progressed = True
+        while progressed:
+            progressed = False
+            for leaf in self.program.ready_leaves():
+                # Leaves scheduled beyond this block (Delay brackets)
+                # stay READY until their time: that keeps them under the
+                # queue's control, so a client pause shifts them rather
+                # than leaving them pre-armed inside a device.
+                if leaf.not_before >= block_end:
+                    continue
+                if self._start_leaf(leaf, now):
+                    progressed = True
+            for leaf in self.program.running_leaves():
+                if leaf.advanced:
+                    continue
+                handle = getattr(leaf, "handle", None)
+                if handle is None:
+                    continue
+                end = handle.predict_end(now, frames)
+                if end is not None and end <= block_end:
+                    # Pre-issue: successors become eligible at the exact
+                    # sample this command will finish.
+                    leaf.complete(end)
+                    progressed = True
+
+    def _start_leaf(self, leaf: Leaf, now: int) -> bool:
+        start_time = max(now, leaf.not_before)
+        try:
+            device = self.loud.find_device(leaf.device_id)
+            handle = device.start_command(leaf, start_time)
+        except ProtocolError as error:
+            leaf.mark_running()
+            leaf.handle = None
+            leaf.failed_error = error
+            leaf.complete(start_time)
+            self._report_failure(leaf, error, start_time)
+            return True
+        leaf.handle = handle
+        leaf.mark_running()
+        return True
+
+    def _report_failure(self, leaf: Leaf, error: ProtocolError,
+                        now: int) -> None:
+        self.completed += 1
+        self._emit(EventCode.COMMAND_DONE, now, detail=2, args=AttributeList({
+            ev.ARG_COMMAND_SERIAL: int(leaf.serial),
+            ev.ARG_COMMAND: int(leaf.command),
+        }))
+        issuer = getattr(leaf, "issuer", None)
+        if issuer is not None:
+            issuer.send_error(error)
+
+    def tick_post(self, now: int, frames: int) -> None:
+        """Collect device completions, emit events, advance the program."""
+        for device in self.loud.all_devices():
+            for handle in device.collect_finished():
+                leaf = handle.leaf
+                if not getattr(leaf, "queued", True):
+                    continue    # immediate-mode command; no queue events
+                if not leaf.advanced:
+                    leaf.complete(handle.finish_time
+                                  if handle.finish_time is not None else now)
+                self.completed += 1
+                self._emit(EventCode.COMMAND_DONE,
+                           handle.finish_time or now,
+                           detail=handle.status,
+                           args=AttributeList({
+                               ev.ARG_COMMAND_SERIAL: int(leaf.serial),
+                               ev.ARG_COMMAND: int(leaf.command),
+                           }))
+        if (self.state is QueueState.STARTED and self.program.is_empty
+                and not self._was_empty):
+            self._was_empty = True
+            self._emit(EventCode.QUEUE_EMPTY, now)
+        elif not self.program.is_empty:
+            self._was_empty = False
+
+    # -- misc --------------------------------------------------------------------------------
+
+    def _emit(self, code: EventCode, sample_time: int, detail: int = 0,
+              args: AttributeList | None = None) -> None:
+        self.server.events.emit(code, self.loud.loud_id, detail=detail,
+                                sample_time=sample_time,
+                                args=args or AttributeList())
+
+    def describe(self) -> tuple[QueueState, int, int, int]:
+        return (self.state, self.program.pending_count(),
+                self.program.running_count(), self.completed)

@@ -1,0 +1,237 @@
+"""The audio server.
+
+"For each workstation, there is a controlling server.  The server
+implements the requests defined in the protocol and executes on the
+workstation where the audio hardware is located, providing low-level
+functions to access that hardware and coordination between applications.
+Clients and a server communicate over a reliable full duplex, 8-bit byte
+stream ...  The audio server can service multiple client connections
+simultaneously."  (paper section 4.1)
+
+Threads (paper section 6.1 mapped onto our design; see DESIGN.md §4):
+
+* the **connection manager** accepts sockets and builds client containers;
+* **per-client reader/writer threads** parse requests and drain events;
+* the **audio hub thread** is the device layer; the server registers one
+  tick callback that runs the command-queue conductors and the wire-graph
+  rendering engine inside the hub's block cycle.
+
+One re-entrant server lock serializes request dispatch against the block
+cycle; event delivery is queue-based so no client can stall audio.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from ..dsp import encodings
+from ..dsp.tones import beep, busy_tone, dial_tone, ringback_tone
+from ..hardware.config import HardwareConfig
+from ..hardware.hub import AudioHub
+from ..protocol.errors import ProtocolError
+from ..protocol.setup import SetupReply, SetupRequest
+from ..protocol.types import MULAW_8K, PROTOCOL_MAJOR
+from ..protocol.wire import Message, WireFormatError
+from .clients import ClientConnection
+from .devices import build_wrappers
+from .dispatch import Dispatcher
+from .events import EventRouter
+from .loud import Loud
+from .resources import DEVICE_LOUD_ID, ResourceTable
+from .sounds import Catalogue
+from .stack import ActiveStack
+
+
+class AudioServer:
+    """The whole server: hub, resources, stack, dispatch, connections."""
+
+    def __init__(self, config: HardwareConfig | None = None,
+                 hub: AudioHub | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 realtime: bool = False,
+                 catalogue_dir: str | None = None) -> None:
+        self.hub = hub or AudioHub(config, realtime=realtime)
+        self.lock = threading.RLock()
+        self.resources = ResourceTable()
+        self.events = EventRouter(self)
+        self.stack = ActiveStack(self)
+        self.dispatcher = Dispatcher(self)
+        self.manager: ClientConnection | None = None
+        self._clients: list[ClientConnection] = []
+        self._clients_lock = threading.Lock()
+        self._catalogues: dict[str, Catalogue] = {}
+        self.host = host
+        self.port = port
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+        self._build_device_loud()
+        self._build_catalogues(catalogue_dir)
+        # The whole hub block cycle runs under the server lock so that
+        # exchange and device callbacks are serialized against dispatch.
+        self.hub.external_lock = self.lock
+        self.hub.add_tick_callback(self._on_tick)
+
+    # -- construction -------------------------------------------------------------
+
+    def _build_device_loud(self) -> None:
+        """Register the device LOUD and every physical device."""
+        device_loud = Loud(DEVICE_LOUD_ID, self)
+        self.resources.add_server_resource(DEVICE_LOUD_ID, device_loud)
+        self.physicals = build_wrappers(self)
+        for wrapper in self.physicals:
+            self.resources.add_server_resource(wrapper.device_id, wrapper)
+
+    def _build_catalogues(self, catalogue_dir: str | None) -> None:
+        """The built-in 'system' catalogue plus an optional directory."""
+        rate = self.hub.sample_rate
+        system = Catalogue("system")
+        system.add_generated(
+            "beep", encodings.encode(beep(rate), MULAW_8K), MULAW_8K)
+        system.add_generated(
+            "dial-tone", encodings.encode(dial_tone(1.0, rate), MULAW_8K),
+            MULAW_8K)
+        system.add_generated(
+            "ringback", encodings.encode(ringback_tone(6.0, rate), MULAW_8K),
+            MULAW_8K)
+        system.add_generated(
+            "busy", encodings.encode(busy_tone(1.0, rate), MULAW_8K),
+            MULAW_8K)
+        self._catalogues["system"] = system
+        self._catalogues[""] = system   # the default catalogue
+        if catalogue_dir is not None:
+            self._catalogues["local"] = Catalogue("local", catalogue_dir)
+
+    def catalogue(self, name: str) -> Catalogue:
+        from ..protocol.errors import bad
+        from ..protocol.types import ErrorCode
+
+        try:
+            return self._catalogues[name]
+        except KeyError:
+            raise bad(ErrorCode.BAD_NAME,
+                      "no catalogue %r" % name) from None
+
+    # -- the block cycle (runs in the hub thread, under the server lock) ------------
+
+    def _on_tick(self, sample_time: int, frames: int) -> None:
+        with self.lock:
+            active = self.stack.active_louds()
+            for loud in active:
+                loud.queue.tick_pre(sample_time, frames)
+            for loud in active:
+                for device in loud.all_devices():
+                    device.begin_tick(sample_time, frames)
+            for loud in active:
+                for device in loud.all_devices():
+                    device.consume(sample_time, frames)
+            for loud in active:
+                loud.queue.tick_post(sample_time, frames)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the hub and the connection manager."""
+        if self._running:
+            return
+        self._running = True
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.host, self.port))
+        self.port = self._listener.getsockname()[1]
+        self._listener.listen(32)
+        self.hub.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="connection-manager", daemon=True)
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._listener is not None:
+            # shutdown() wakes a thread blocked in accept(); close()
+            # alone does not on Linux.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for client in self.clients_snapshot():
+            client.close()
+        self.hub.stop()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "AudioServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connection management -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                sock, _address = self._listener.accept()
+            except OSError:
+                break
+            threading.Thread(target=self._setup_client, args=(sock,),
+                             daemon=True).start()
+
+    def _setup_client(self, sock: socket.socket) -> None:
+        try:
+            setup = SetupRequest.read_from(sock)
+        except (WireFormatError, Exception):
+            sock.close()
+            return
+        if setup.major != PROTOCOL_MAJOR:
+            sock.sendall(SetupReply(
+                False, reason="unsupported protocol version").encode())
+            sock.close()
+            return
+        with self.lock:
+            id_base, id_mask = self.resources.grant_range()
+            client = ClientConnection(self, sock, setup.client_name, id_base)
+            with self._clients_lock:
+                self._clients.append(client)
+        sock.sendall(SetupReply(True, id_base=id_base, id_mask=id_mask,
+                                vendor="repro desktop audio").encode())
+        client.start()
+
+    def clients_snapshot(self) -> list[ClientConnection]:
+        with self._clients_lock:
+            return list(self._clients)
+
+    def dispatch_request(self, client: ClientConnection,
+                         message: Message) -> None:
+        with self.lock:
+            self.dispatcher.handle(client, message)
+
+    def client_disconnected(self, client: ClientConnection) -> None:
+        """Tear down everything a departed client owned."""
+        with self.lock:
+            if self.manager is client:
+                self.manager = None
+            for resource_id in self.resources.owned_by(client.id_base):
+                resource = self.resources.maybe_get(resource_id)
+                if isinstance(resource, Loud):
+                    if resource.is_root() and resource.mapped:
+                        self.stack.unmap_loud(resource)
+            # Destroy root LOUDs (which takes devices and wires with
+            # them), then everything left (sounds, stray wires).
+            for resource_id in self.resources.owned_by(client.id_base):
+                resource = self.resources.maybe_get(resource_id)
+                if isinstance(resource, Loud) and resource.is_root():
+                    resource.destroy()
+            for resource_id in self.resources.owned_by(client.id_base):
+                self.resources.remove(resource_id)
+        with self._clients_lock:
+            if client in self._clients:
+                self._clients.remove(client)
+        client.close()

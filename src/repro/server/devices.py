@@ -1,0 +1,212 @@
+"""Server-side physical device wrappers and the device LOUD.
+
+"A special LOUD tree, called the device LOUD, encapsulates all of the
+available functions in every device controlled by the server.  The
+device LOUD tree contains a LOUD for every physical device, and if two
+devices are hard-wired, they are wired in the device LOUD.  Each LOUD in
+the device LOUD is given a unique id that can be used by an application
+to monitor the device."  (paper section 5.1)
+
+A :class:`PhysicalWrapper` pairs one hub hardware endpoint with its
+server-visible identity: a low (server-owned) resource id, a class,
+capability attributes, ambient domain, hard-wiring group, and -- for
+telephone lines -- the signaling relay that turns exchange callbacks
+into protocol events.
+"""
+
+from __future__ import annotations
+
+from ..hardware.devices import LineDevice, MicrophoneDevice, SpeakerDevice
+from ..protocol import events as ev
+from ..protocol.attributes import (
+    ATTR_AGC,
+    ATTR_AMBIENT_DOMAIN,
+    ATTR_CALLER_ID,
+    ATTR_DIGITAL,
+    ATTR_HARD_WIRED,
+    ATTR_NAME,
+    ATTR_PAUSE_COMPRESSION,
+    ATTR_PAUSE_DETECTION,
+    ATTR_PHONE_NUMBER,
+    AttributeList,
+)
+from ..protocol.requests import DeviceDescription
+from ..protocol.types import DeviceClass, DeviceState, EventCode
+
+
+class PhysicalWrapper:
+    """One physical device as the server sees it."""
+
+    def __init__(self, device_id: int, device_class: DeviceClass,
+                 hardware, domain: str,
+                 hard_group: int | None = None,
+                 exclusive: bool = False) -> None:
+        self.device_id = device_id
+        self.device_class = device_class
+        self.hardware = hardware
+        self.domain = domain
+        self.hard_group = hard_group
+        #: True if only one LOUD may use this device at a time
+        #: (telephone lines); speakers and microphones are shared.
+        self.exclusive = exclusive
+        self.bound_vdevices: list = []
+
+    @property
+    def name(self) -> str:
+        return self.hardware.name
+
+    def attributes(self) -> AttributeList:
+        attrs = AttributeList({
+            ATTR_NAME: self.name,
+            ATTR_AMBIENT_DOMAIN: self.domain,
+        })
+        if self.hard_group is not None:
+            attrs[ATTR_HARD_WIRED] = True
+        return attrs
+
+    def describe(self) -> DeviceDescription:
+        return DeviceDescription(self.device_id, self.device_class,
+                                 self.name, self.attributes(), [])
+
+    def matches(self, requested: AttributeList) -> bool:
+        """Does this device satisfy a virtual device's constraints?
+
+        "The attributes can specify a device either tightly or loosely.
+        For instance, a loose specification might be 'give me a
+        speaker'.  A more tightly specified list ... 'give me the left
+        speaker'."  (paper section 5.1)
+        """
+        wanted_id = requested.get("device-id")
+        if wanted_id is not None and int(wanted_id) != self.device_id:
+            return False
+        wanted_name = requested.get(ATTR_NAME)
+        if wanted_name is not None and wanted_name != self.name:
+            return False
+        wanted_domain = requested.get(ATTR_AMBIENT_DOMAIN)
+        if wanted_domain is not None and wanted_domain != self.domain:
+            return False
+        return True
+
+
+class SpeakerWrapper(PhysicalWrapper):
+    def __init__(self, device_id: int, hardware: SpeakerDevice) -> None:
+        super().__init__(device_id, DeviceClass.OUTPUT, hardware,
+                         hardware.domain)
+
+
+class MicrophoneWrapper(PhysicalWrapper):
+    def __init__(self, device_id: int, hardware: MicrophoneDevice) -> None:
+        super().__init__(device_id, DeviceClass.INPUT, hardware,
+                         hardware.domain)
+
+
+class TelephoneWrapper(PhysicalWrapper):
+    """A telephone line; relays exchange signaling to the server."""
+
+    def __init__(self, device_id: int, hardware: LineDevice, server,
+                 digital: bool = False) -> None:
+        super().__init__(device_id, DeviceClass.TELEPHONE, hardware,
+                         hardware.domain, exclusive=True)
+        self.server = server
+        self.digital = digital
+        hardware.add_listener(self)
+
+    def attributes(self) -> AttributeList:
+        attrs = super().attributes()
+        attrs[ATTR_PHONE_NUMBER] = self.hardware.number
+        attrs[ATTR_CALLER_ID] = True
+        attrs[ATTR_DIGITAL] = self.digital
+        return attrs
+
+    def matches(self, requested: AttributeList) -> bool:
+        """Telephones can additionally be selected by their number
+        ("every telephone will have one or more numbers ... associated
+        with it", paper section 5.1)."""
+        if not super().matches(requested):
+            return False
+        wanted_number = requested.get(ATTR_PHONE_NUMBER)
+        if wanted_number is not None \
+                and str(wanted_number) != self.hardware.number:
+            return False
+        return True
+
+    def attach_vdevice(self, vdevice) -> None:
+        if vdevice not in self.bound_vdevices:
+            self.bound_vdevices.append(vdevice)
+
+    def detach_vdevice(self, vdevice) -> None:
+        if vdevice in self.bound_vdevices:
+            self.bound_vdevices.remove(vdevice)
+
+    # -- line listener callbacks: fan out to vdevices + device LOUD -----------
+
+    def _device_state_event(self, state: DeviceState,
+                            args: AttributeList | None = None) -> None:
+        """DEVICE_STATE on the device-LOUD id, for monitors.
+
+        "Because the answering machine LOUD is unmapped, the application
+        cannot tell, from the LOUD, if the telephone rings.  Therefore it
+        monitors the device LOUD telephone." (paper section 5.9 footnote)
+        """
+        self.server.events.emit(
+            EventCode.DEVICE_STATE, self.device_id, detail=int(state),
+            sample_time=self.server.hub.sample_time,
+            args=args or AttributeList())
+
+    def on_ring_start(self, caller_info) -> None:
+        args = AttributeList({ev.ARG_DEVICE_ID: self.device_id})
+        if caller_info is not None:
+            args[ev.ARG_CALLER_ID] = caller_info.number
+            if caller_info.forwarded_from is not None:
+                args[ev.ARG_FORWARDED_FROM] = caller_info.forwarded_from
+        self._device_state_event(DeviceState.RINGING, args)
+        for vdevice in list(self.bound_vdevices):
+            vdevice.on_ring_start(caller_info)
+
+    def on_ring_stop(self) -> None:
+        self._device_state_event(DeviceState.ON_HOOK)
+
+    def on_answered(self) -> None:
+        self._device_state_event(DeviceState.OFF_HOOK)
+        for vdevice in list(self.bound_vdevices):
+            vdevice.on_answered()
+
+    def on_far_hangup(self) -> None:
+        self._device_state_event(DeviceState.ON_HOOK)
+        for vdevice in list(self.bound_vdevices):
+            vdevice.on_far_hangup()
+
+    def on_call_failed(self, reason: str) -> None:
+        self._device_state_event(DeviceState.IDLE)
+        for vdevice in list(self.bound_vdevices):
+            vdevice.on_call_failed(reason)
+
+
+#: Capability attributes advertised by software recorders.
+RECORDER_CAPABILITIES = AttributeList({
+    ATTR_AGC: True,
+    ATTR_PAUSE_DETECTION: True,
+    ATTR_PAUSE_COMPRESSION: True,
+})
+
+
+def build_wrappers(server) -> list[PhysicalWrapper]:
+    """Create wrappers for every hub device, assigning server ids."""
+    wrappers: list[PhysicalWrapper] = []
+    next_id = 2     # 1 is the device LOUD itself
+    hard_group_members = {"speakerphone-speaker", "speakerphone-mic",
+                          "speakerphone-line"}
+    for hardware in server.hub.devices:
+        hard_group = 1 if hardware.name in hard_group_members else None
+        if isinstance(hardware, SpeakerDevice):
+            wrapper = SpeakerWrapper(next_id, hardware)
+        elif isinstance(hardware, MicrophoneDevice):
+            wrapper = MicrophoneWrapper(next_id, hardware)
+        elif isinstance(hardware, LineDevice):
+            wrapper = TelephoneWrapper(next_id, hardware, server)
+        else:
+            continue
+        wrapper.hard_group = hard_group
+        wrappers.append(wrapper)
+        next_id += 1
+    return wrappers

@@ -1,0 +1,65 @@
+"""Command-line entry point: run an audio server.
+
+Usage::
+
+    repro-audio-server [--port N] [--realtime] [--catalogue DIR]
+                       [--speakerphone] [--rate HZ] [--block FRAMES]
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from ..hardware.config import HardwareConfig
+from ..protocol.types import DEFAULT_PORT
+from .core import AudioServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-audio-server",
+        description="The desktop-audio server (USENIX '91 reproduction).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--realtime", action="store_true",
+                        help="pace audio blocks against the wall clock")
+    parser.add_argument("--catalogue", default=None, metavar="DIR",
+                        help="directory of .au files served as the "
+                             "'local' catalogue")
+    parser.add_argument("--speakerphone", action="store_true",
+                        help="add the hard-wired speakerphone trio")
+    parser.add_argument("--rate", type=int, default=8000,
+                        help="device-layer sample rate (default 8000)")
+    parser.add_argument("--block", type=int, default=160,
+                        help="block size in frames (default 160 = 20 ms)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = HardwareConfig(sample_rate=args.rate, block_frames=args.block,
+                            speakerphone=args.speakerphone)
+    server = AudioServer(config, host=args.host, port=args.port,
+                         realtime=args.realtime,
+                         catalogue_dir=args.catalogue)
+    server.start()
+    print("audio server listening on %s:%d" % (server.host, server.port))
+    stop = threading.Event()
+
+    def handle_signal(_signum, _frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, handle_signal)
+    signal.signal(signal.SIGTERM, handle_signal)
+    try:
+        stop.wait()
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

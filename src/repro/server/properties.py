@@ -1,0 +1,42 @@
+"""Properties: (name, value, type) triples on LOUDs and sounds.
+
+"Properties can define any arbitrary information and can be associated
+with any LOUD or sound data.  Properties can be used to communicate
+information between applications." (paper section 5.8)
+
+The audio manager reads properties such as DOMAIN to learn application
+preferences; PROPERTY_NOTIFY events tell interested clients when one
+changes.
+"""
+
+from __future__ import annotations
+
+from ..protocol.errors import bad
+from ..protocol.types import ErrorCode
+
+#: Detail codes on PROPERTY_NOTIFY events.
+PROPERTY_CHANGED = 0
+PROPERTY_DELETED = 1
+
+
+class PropertyStore:
+    """Mixin giving a resource a property dictionary."""
+
+    def __init__(self) -> None:
+        self._properties: dict[str, object] = {}
+
+    def set_property(self, name: str, value: object) -> None:
+        self._properties[name] = value
+
+    def get_property(self, name: str) -> tuple[bool, object]:
+        if name in self._properties:
+            return True, self._properties[name]
+        return False, None
+
+    def delete_property(self, name: str) -> None:
+        if name not in self._properties:
+            raise bad(ErrorCode.BAD_PROPERTY, "no property %r" % name)
+        del self._properties[name]
+
+    def property_names(self) -> list[str]:
+        return sorted(self._properties)

@@ -1,0 +1,80 @@
+"""Resource id management.
+
+Like X, resource ids (LOUDs, virtual devices, wires, sounds) are
+allocated by the *client* out of an id range granted at connection setup;
+the server validates ownership and uniqueness.  Ids below
+``FIRST_CLIENT_ID`` belong to the server itself -- the device LOUD and
+the physical devices it contains live there.
+"""
+
+from __future__ import annotations
+
+from ..protocol.errors import ProtocolError, bad
+from ..protocol.setup import ID_RANGE_SIZE
+from ..protocol.types import ErrorCode
+
+#: Server-owned ids occupy [1, FIRST_CLIENT_ID); client ranges follow.
+FIRST_CLIENT_ID = ID_RANGE_SIZE
+
+#: The device LOUD always has this well-known id.
+DEVICE_LOUD_ID = 1
+
+
+class ResourceTable:
+    """All live resources, by id, with client-ownership bookkeeping."""
+
+    def __init__(self) -> None:
+        self._resources: dict[int, object] = {}
+        self._owner: dict[int, int] = {}    # resource id -> client id base
+        self._next_client_base = FIRST_CLIENT_ID
+
+    def grant_range(self) -> tuple[int, int]:
+        """Allocate an (id_base, id_mask) range for a new client."""
+        base = self._next_client_base
+        self._next_client_base += ID_RANGE_SIZE
+        return base, ID_RANGE_SIZE - 1
+
+    def add_server_resource(self, resource_id: int, resource: object) -> None:
+        """Register a server-owned resource (device LOUD entries)."""
+        if resource_id >= FIRST_CLIENT_ID:
+            raise ValueError("server resources must use low ids")
+        self._resources[resource_id] = resource
+
+    def add(self, client_base: int, resource_id: int,
+            resource: object) -> None:
+        """Register a client-created resource, validating the id."""
+        if not client_base <= resource_id < client_base + ID_RANGE_SIZE:
+            raise bad(ErrorCode.BAD_ID_CHOICE,
+                      "id outside the client's range", resource_id)
+        if resource_id in self._resources:
+            raise bad(ErrorCode.BAD_ID_CHOICE, "id already in use",
+                      resource_id)
+        self._resources[resource_id] = resource
+        self._owner[resource_id] = client_base
+
+    def remove(self, resource_id: int) -> None:
+        self._resources.pop(resource_id, None)
+        self._owner.pop(resource_id, None)
+
+    def get(self, resource_id: int, expected_type: type | None = None,
+            error_code: ErrorCode = ErrorCode.BAD_VALUE) -> object:
+        """Look up a resource, raising the class-appropriate error."""
+        resource = self._resources.get(resource_id)
+        if resource is None or (expected_type is not None
+                                and not isinstance(resource, expected_type)):
+            raise bad(error_code, "no such resource", resource_id)
+        return resource
+
+    def maybe_get(self, resource_id: int) -> object | None:
+        return self._resources.get(resource_id)
+
+    def owned_by(self, client_base: int) -> list[int]:
+        """All resource ids a client owns (for disconnect cleanup)."""
+        return [resource_id for resource_id, owner in self._owner.items()
+                if owner == client_base]
+
+    def __contains__(self, resource_id: int) -> bool:
+        return resource_id in self._resources
+
+    def __len__(self) -> int:
+        return len(self._resources)

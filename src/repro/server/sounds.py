@@ -1,0 +1,245 @@
+"""Server-side sounds and catalogues.
+
+"A sound is a typed object that represents digitized audio data ...  The
+server provides a collection of sounds in its data space.  Applications
+reference these sounds by name.  The sounds are grouped into libraries or
+catalogues." (paper section 5.6)
+
+Two kinds of sound live here:
+
+* **stored sounds** -- a byte buffer in the sound's stored encoding, with
+  a lazily-built linear-PCM decode cache for playback and random access;
+* **stream sounds** -- a bounded FIFO of linear frames for client-
+  supplied real-time data (paper section 6.2), with low-water accounting
+  that drives DATA_REQUEST flow-control events.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..dsp import encodings
+from ..dsp.aufile import AuFileError, read_au
+from ..protocol.errors import bad
+from ..protocol.types import Encoding, ErrorCode, SoundType
+from .properties import PropertyStore
+
+#: Hard cap on one sound's stored bytes (64 MiB is over two hours of
+#: telephone-quality audio); a client that keeps appending gets BadAlloc
+#: instead of exhausting server memory.
+MAX_SOUND_BYTES = 64 << 20
+
+
+class Sound(PropertyStore):
+    """One typed audio object in the server's data space."""
+
+    def __init__(self, sound_id: int, sound_type: SoundType,
+                 name: str = "") -> None:
+        super().__init__()
+        self.sound_id = sound_id
+        self.sound_type = sound_type
+        self.name = name
+        self._data = bytearray()
+        self._decoded: np.ndarray | None = None
+        # Stream mode state.
+        self.is_stream = False
+        self._stream_frames: list[np.ndarray] = []
+        self._stream_buffered = 0
+        self.stream_capacity = 0
+        self.stream_low_water = 0
+        self.stream_ended = False
+
+    # -- stored-sound surface ---------------------------------------------------
+
+    @property
+    def byte_length(self) -> int:
+        return len(self._data)
+
+    @property
+    def frame_length(self) -> int:
+        if self.is_stream:
+            return self._stream_buffered
+        if self.sound_type.encoding is Encoding.ADPCM:
+            from ..dsp.adpcm import frames_in
+
+            return frames_in(len(self._data))
+        return self.sound_type.bytes_to_frames(len(self._data))
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        """Write stored bytes; offset -1 appends."""
+        if self.is_stream:
+            self._stream_write(data)
+            return
+        if offset == -1:
+            if len(self._data) + len(data) > MAX_SOUND_BYTES:
+                raise bad(ErrorCode.BAD_ALLOC,
+                          "sound would exceed %d bytes" % MAX_SOUND_BYTES,
+                          self.sound_id)
+            self._data.extend(data)
+        else:
+            if offset < 0:
+                raise bad(ErrorCode.BAD_VALUE, "bad sound offset",
+                          self.sound_id)
+            end = offset + len(data)
+            if end > MAX_SOUND_BYTES:
+                raise bad(ErrorCode.BAD_ALLOC,
+                          "sound would exceed %d bytes" % MAX_SOUND_BYTES,
+                          self.sound_id)
+            if end > len(self._data):
+                self._data.extend(b"\x00" * (end - len(self._data)))
+            self._data[offset:end] = data
+        self._decoded = None
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        if self.is_stream:
+            # Streams are FIFOs: a read *consumes* up to `length` bytes
+            # of buffered audio (offset is ignored).  This is the
+            # client-side reading half of paper section 6.2, used to
+            # monitor a live recording.
+            frames = self.sound_type.bytes_to_frames(length)
+            drained = self._stream_read(frames)
+            return encodings.encode(drained, self.sound_type)
+        return bytes(self._data[offset:offset + length])
+
+    def decoded(self) -> np.ndarray:
+        """The whole sound as linear int16 samples (cached)."""
+        if self._decoded is None:
+            self._decoded = encodings.decode(bytes(self._data),
+                                             self.sound_type)
+        return self._decoded
+
+    def read_frames(self, start_frame: int, count: int) -> np.ndarray:
+        """Linear samples [start, start+count); short read at the end."""
+        if self.is_stream:
+            return self._stream_read(count)
+        samples = self.decoded()
+        return samples[start_frame:start_frame + count]
+
+    def append_frames(self, samples: np.ndarray) -> None:
+        """Append linear samples, encoding into the stored format.
+
+        ADPCM is stateful across the whole stream, so recorders targeting
+        an ADPCM sound buffer linear audio and the encode happens once at
+        finalize time; for the stateless codecs we encode incrementally.
+        """
+        if self.is_stream:
+            self._stream_frames.append(np.asarray(samples, dtype=np.int16))
+            self._stream_buffered += len(samples)
+            return
+        if self.sound_type.encoding is Encoding.ADPCM:
+            if self._decoded is None:
+                self._decoded = np.asarray(samples, dtype=np.int16)
+            else:
+                self._decoded = np.concatenate(
+                    [self._decoded, np.asarray(samples, dtype=np.int16)])
+            from ..dsp.adpcm import adpcm_encode
+
+            self._data = bytearray(adpcm_encode(self._decoded))
+            return
+        self._data.extend(encodings.encode(samples, self.sound_type))
+        self._decoded = None
+
+    # -- stream-sound surface ------------------------------------------------------
+
+    def make_stream(self, capacity_frames: int, low_water_frames: int) -> None:
+        if capacity_frames <= 0 or low_water_frames < 0:
+            raise bad(ErrorCode.BAD_VALUE, "bad stream parameters",
+                      self.sound_id)
+        if self.sound_type.encoding is Encoding.ADPCM:
+            # ADPCM is stateful across the whole stream; random chunk
+            # boundaries cannot carry the codec state.
+            raise bad(ErrorCode.BAD_MATCH,
+                      "stream sounds cannot use ADPCM", self.sound_id)
+        if self.byte_length:
+            raise bad(ErrorCode.BAD_MATCH,
+                      "sound already holds stored data", self.sound_id)
+        self.is_stream = True
+        self.stream_capacity = capacity_frames
+        self.stream_low_water = min(low_water_frames, capacity_frames)
+
+    def _stream_write(self, data: bytes) -> None:
+        samples = encodings.decode(data, self.sound_type)
+        space = self.stream_capacity - self._stream_buffered
+        if len(samples) > space:
+            samples = samples[:space]   # overflow is dropped, by contract
+        if len(samples):
+            self._stream_frames.append(samples)
+            self._stream_buffered += len(samples)
+
+    def _stream_read(self, count: int) -> np.ndarray:
+        out = np.zeros(count, dtype=np.int16)
+        filled = 0
+        while filled < count and self._stream_frames:
+            head = self._stream_frames[0]
+            take = min(len(head), count - filled)
+            out[filled:filled + take] = head[:take]
+            if take == len(head):
+                self._stream_frames.pop(0)
+            else:
+                self._stream_frames[0] = head[take:]
+            filled += take
+        self._stream_buffered -= filled
+        return out[:filled]
+
+    @property
+    def stream_hungry(self) -> bool:
+        """True when the stream buffer fell to (or below) low water."""
+        return (self.is_stream and not self.stream_ended
+                and self._stream_buffered <= self.stream_low_water)
+
+    @property
+    def stream_space(self) -> int:
+        return self.stream_capacity - self._stream_buffered
+
+    def end_stream(self) -> None:
+        """Mark that the client will supply no more data."""
+        self.stream_ended = True
+
+
+class Catalogue:
+    """A named library of sounds the server provides.
+
+    Backed by a directory of ``.au`` files plus in-memory entries the
+    server generates at startup (the ``system`` catalogue's beep and
+    call-progress tones).
+    """
+
+    def __init__(self, name: str, directory: str | os.PathLike | None = None
+                 ) -> None:
+        self.name = name
+        self.directory = directory
+        self._generated: dict[str, tuple[bytes, SoundType]] = {}
+
+    def add_generated(self, name: str, data: bytes,
+                      sound_type: SoundType) -> None:
+        self._generated[name] = (data, sound_type)
+
+    def names(self) -> list[str]:
+        found = set(self._generated)
+        if self.directory is not None and os.path.isdir(self.directory):
+            for entry in os.listdir(self.directory):
+                if entry.endswith(".au"):
+                    found.add(entry[:-3])
+        return sorted(found)
+
+    def load(self, name: str, sound_id: int) -> Sound:
+        """Materialize a catalogue entry as a Sound object."""
+        if name in self._generated:
+            data, sound_type = self._generated[name]
+            sound = Sound(sound_id, sound_type, name=name)
+            sound.write_bytes(-1, data)
+            return sound
+        if self.directory is not None:
+            path = os.path.join(os.fspath(self.directory), name + ".au")
+            if os.path.isfile(path):
+                try:
+                    data, sound_type, _ = read_au(path)
+                except AuFileError as exc:
+                    raise bad(ErrorCode.BAD_NAME,
+                              "unreadable catalogue entry: %s" % exc)
+                sound = Sound(sound_id, sound_type, name=name)
+                sound.write_bytes(-1, data)
+                return sound
+        raise bad(ErrorCode.BAD_NAME, "no catalogue entry %r" % name)

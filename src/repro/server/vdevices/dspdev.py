@@ -1,0 +1,140 @@
+"""The DSP virtual device class.
+
+"A Digital Signal Processor is a set of software to manipulate one or
+more audio data streams.  It may have several inputs and outputs.
+Commands have not yet been specified."  (paper section 5.1)
+
+The paper left DSP commands unspecified; we specify a minimal
+SetProgram command so the class is usable:
+
+* ``SetProgram``: ``program`` (string) -- one of
+  ``"null"`` (pass-through),
+  ``"gain:<factor>"`` (fixed linear gain),
+  ``"echo:<delay-ms>:<feedback>"`` (feedback echo), or
+  ``"lowpass:<alpha>"`` (one-pole lowpass, alpha in (0, 1]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dsp.mixing import apply_gain, saturate
+from ...protocol.errors import bad
+from ...protocol.types import Command, DeviceClass, ErrorCode, PortDirection
+from .base import CommandHandle, InstantHandle, VirtualDevice, \
+    register_device_class
+
+
+class _Effect:
+    def process(self, block: np.ndarray) -> np.ndarray:
+        return block
+
+
+class _GainEffect(_Effect):
+    def __init__(self, factor: float) -> None:
+        self.factor = factor
+
+    def process(self, block: np.ndarray) -> np.ndarray:
+        return apply_gain(block, self.factor)
+
+
+class _EchoEffect(_Effect):
+    def __init__(self, delay_frames: int, feedback: float) -> None:
+        if delay_frames < 1:
+            raise ValueError("echo delay too short")
+        if not 0.0 <= feedback < 1.0:
+            raise ValueError("feedback must be in [0, 1)")
+        self.delay = delay_frames
+        self.feedback = feedback
+        self._history = np.zeros(delay_frames, dtype=np.float64)
+        self._cursor = 0
+
+    def process(self, block: np.ndarray) -> np.ndarray:
+        out = np.empty(len(block), dtype=np.float64)
+        data = np.asarray(block, dtype=np.float64)
+        for position in range(len(data)):
+            echoed = data[position] + \
+                self.feedback * self._history[self._cursor]
+            self._history[self._cursor] = echoed
+            self._cursor = (self._cursor + 1) % self.delay
+            out[position] = echoed
+        return saturate(np.round(out).astype(np.int64))
+
+
+class _LowpassEffect(_Effect):
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._state = 0.0
+
+    def process(self, block: np.ndarray) -> np.ndarray:
+        out = np.empty(len(block), dtype=np.float64)
+        state = self._state
+        alpha = self.alpha
+        for position, value in enumerate(
+                np.asarray(block, dtype=np.float64)):
+            state += alpha * (value - state)
+            out[position] = state
+        self._state = state
+        return saturate(np.round(out).astype(np.int64))
+
+
+def _parse_program(program: str) -> _Effect:
+    parts = program.split(":")
+    kind = parts[0]
+    if kind == "null":
+        return _Effect()
+    if kind == "gain" and len(parts) == 2:
+        return _GainEffect(float(parts[1]))
+    if kind == "echo" and len(parts) == 3:
+        return None     # needs the sample rate; resolved by the device
+    if kind == "lowpass" and len(parts) == 2:
+        return _LowpassEffect(float(parts[1]))
+    raise ValueError("unknown DSP program %r" % program)
+
+
+@register_device_class
+class DspDevice(VirtualDevice):
+    """A software signal processor in the wire graph."""
+
+    DEVICE_CLASS = DeviceClass.DSP
+    BINDS_TO = None
+
+    def __init__(self, device_id, loud, attributes) -> None:
+        super().__init__(device_id, loud, attributes)
+        self._effect: _Effect = _Effect()
+        self.program = "null"
+
+    def _build_ports(self) -> None:
+        self._add_port(PortDirection.SINK)
+        self._add_port(PortDirection.SOURCE)
+
+    def _start(self, leaf, at_time: int) -> CommandHandle:
+        if leaf.command is Command.SET_PROGRAM:
+            program = str(leaf.args.get("program", "null"))
+            try:
+                effect = _parse_program(program)
+                if effect is None:  # echo needs the rate
+                    _, delay_ms, feedback = program.split(":")
+                    delay_frames = (int(delay_ms)
+                                    * self.server.hub.sample_rate // 1000)
+                    effect = _EchoEffect(delay_frames, float(feedback))
+            except ValueError as exc:
+                raise bad(ErrorCode.BAD_VALUE, str(exc), self.device_id)
+            self._effect = effect
+            self.program = program
+            return InstantHandle(self, leaf, at_time)
+        return super()._start(leaf, at_time)
+
+    def _render(self, port_index: int, sample_time: int,
+                frames: int) -> np.ndarray:
+        if port_index != 1:
+            return np.zeros(frames, dtype=np.int16)
+        block = self.pull_sink(0, sample_time, frames)
+        return apply_gain(self._effect.process(block), self.gain)
+
+    def save_state(self) -> dict:
+        state = super().save_state()
+        state["program"] = self.program
+        return state

@@ -1,0 +1,57 @@
+"""Input and output virtual device classes.
+
+"Inputs and outputs provide connections to external devices, such as
+speakers and microphones.  They are used as wiring constructs to attach
+to the other classes.  The base command is ChangeGain, which adjusts the
+volume."  (paper section 5.1)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dsp.mixing import apply_gain
+from ...protocol.types import DeviceClass, PortDirection
+from .base import VirtualDevice, register_device_class
+
+
+@register_device_class
+class InputDevice(VirtualDevice):
+    """A microphone-like source: renders what the bound hardware hears."""
+
+    DEVICE_CLASS = DeviceClass.INPUT
+    BINDS_TO = DeviceClass.INPUT
+
+    def _build_ports(self) -> None:
+        self._add_port(PortDirection.SOURCE)
+
+    def _render(self, port_index: int, sample_time: int,
+                frames: int) -> np.ndarray:
+        if self.bound is None:
+            return np.zeros(frames, dtype=np.int16)
+        block = self.bound.hardware.read(frames)
+        return apply_gain(block, self.gain)
+
+
+@register_device_class
+class OutputDevice(VirtualDevice):
+    """A speaker-like sink: pushes pulled audio to the bound hardware.
+
+    Multiple active output virtual devices may share one physical
+    speaker; the hardware mixes whatever each of them plays ("a speaker
+    ... through which the sounds from multiple applications are
+    simultaneously mixed, would be represented by multiple active virtual
+    devices", paper section 5.3).
+    """
+
+    DEVICE_CLASS = DeviceClass.OUTPUT
+    BINDS_TO = DeviceClass.OUTPUT
+
+    def _build_ports(self) -> None:
+        self._add_port(PortDirection.SINK)
+
+    def consume(self, sample_time: int, frames: int) -> None:
+        if self.bound is None:
+            return
+        block = self.pull_sink(0, sample_time, frames)
+        self.bound.hardware.play(apply_gain(block, self.gain))

@@ -1,0 +1,151 @@
+"""Mixer and crossbar virtual device classes.
+
+"Mixers take data on multiple inputs, combine the streams and then
+present the combined data on one or more output ports.  The relative
+combination is determined by a percentage assigned to each input."
+
+"A Crossbar is a switch to control routing of a number of inputs to a
+number of outputs.  Each input can be connected to one or more of the
+outputs."  (paper section 5.1)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dsp.mixing import apply_gain, mix
+from ...protocol.attributes import ATTR_INPUT_COUNT, ATTR_OUTPUT_COUNT
+from ...protocol.errors import bad
+from ...protocol.types import Command, DeviceClass, ErrorCode, PortDirection
+from .base import CommandHandle, InstantHandle, VirtualDevice, \
+    register_device_class
+
+
+@register_device_class
+class MixerDevice(VirtualDevice):
+    """N sink ports mixed (with per-input percentages) to one source.
+
+    Ports 0..N-1 are the inputs; port N is the combined output.
+    SetGain arguments: ``input`` (port index), ``percent``.
+    """
+
+    DEVICE_CLASS = DeviceClass.MIXER
+    BINDS_TO = None
+
+    def __init__(self, device_id, loud, attributes) -> None:
+        self._input_count = int(attributes.get(ATTR_INPUT_COUNT, 2))
+        if self._input_count < 1:
+            raise bad(ErrorCode.BAD_VALUE, "mixer needs at least one input",
+                      device_id)
+        super().__init__(device_id, loud, attributes)
+        self.input_gains = [1.0] * self._input_count
+
+    def _build_ports(self) -> None:
+        for _ in range(self._input_count):
+            self._add_port(PortDirection.SINK)
+        self._add_port(PortDirection.SOURCE)
+
+    @property
+    def output_port(self) -> int:
+        return self._input_count
+
+    def _start(self, leaf, at_time: int) -> CommandHandle:
+        if leaf.command is Command.SET_GAIN:
+            index = int(leaf.args.get("input", 0))
+            if not 0 <= index < self._input_count:
+                raise bad(ErrorCode.BAD_VALUE, "no mixer input %d" % index,
+                          self.device_id)
+            self.input_gains[index] = \
+                float(leaf.args.get("percent", 100)) / 100.0
+            return InstantHandle(self, leaf, at_time)
+        return super()._start(leaf, at_time)
+
+    def _render(self, port_index: int, sample_time: int,
+                frames: int) -> np.ndarray:
+        if port_index != self.output_port:
+            return np.zeros(frames, dtype=np.int16)
+        blocks = [self.pull_sink(index, sample_time, frames)
+                  for index in range(self._input_count)]
+        combined = mix(blocks, gains=self.input_gains, length=frames)
+        return apply_gain(combined, self.gain)
+
+    def save_state(self) -> dict:
+        state = super().save_state()
+        state["input_gains"] = list(self.input_gains)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.input_gains = list(state.get("input_gains", self.input_gains))
+
+
+@register_device_class
+class CrossbarDevice(VirtualDevice):
+    """An N x M routing switch.
+
+    Ports 0..N-1 are sinks (inputs); ports N..N+M-1 are sources
+    (outputs).  SetRouting arguments: ``routing`` -- a flattened int list
+    of (input, output) pairs; an empty list disconnects everything.
+    """
+
+    DEVICE_CLASS = DeviceClass.CROSSBAR
+    BINDS_TO = None
+
+    def __init__(self, device_id, loud, attributes) -> None:
+        self._input_count = int(attributes.get(ATTR_INPUT_COUNT, 2))
+        self._output_count = int(attributes.get(ATTR_OUTPUT_COUNT, 2))
+        if self._input_count < 1 or self._output_count < 1:
+            raise bad(ErrorCode.BAD_VALUE, "crossbar needs inputs and outputs",
+                      device_id)
+        super().__init__(device_id, loud, attributes)
+        self.routing: set[tuple[int, int]] = set()
+
+    def _build_ports(self) -> None:
+        for _ in range(self._input_count):
+            self._add_port(PortDirection.SINK)
+        for _ in range(self._output_count):
+            self._add_port(PortDirection.SOURCE)
+
+    def output_port(self, output_index: int) -> int:
+        return self._input_count + output_index
+
+    def _start(self, leaf, at_time: int) -> CommandHandle:
+        if leaf.command is Command.SET_ROUTING:
+            flat = leaf.args.get("routing", [])
+            if len(flat) % 2 != 0:
+                raise bad(ErrorCode.BAD_VALUE,
+                          "routing list must be (input, output) pairs",
+                          self.device_id)
+            routing = set()
+            for position in range(0, len(flat), 2):
+                source = int(flat[position])
+                sink = int(flat[position + 1])
+                if not (0 <= source < self._input_count
+                        and 0 <= sink < self._output_count):
+                    raise bad(ErrorCode.BAD_VALUE,
+                              "routing pair (%d, %d) out of range"
+                              % (source, sink), self.device_id)
+                routing.add((source, sink))
+            self.routing = routing
+            return InstantHandle(self, leaf, at_time)
+        return super()._start(leaf, at_time)
+
+    def _render(self, port_index: int, sample_time: int,
+                frames: int) -> np.ndarray:
+        output_index = port_index - self._input_count
+        if output_index < 0:
+            return np.zeros(frames, dtype=np.int16)
+        blocks = [self.pull_sink(source, sample_time, frames)
+                  for source, sink in self.routing if sink == output_index]
+        if not blocks:
+            return np.zeros(frames, dtype=np.int16)
+        return apply_gain(mix(blocks, length=frames), self.gain)
+
+    def save_state(self) -> dict:
+        state = super().save_state()
+        state["routing"] = set(self.routing)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.routing = set(state.get("routing", self.routing))

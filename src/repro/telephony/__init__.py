@@ -1,0 +1,26 @@
+"""Simulated telephone network: exchange, lines, calls, scripted parties.
+
+Substitutes for the paper's analog telephone hardware and the public
+network behind it; see DESIGN.md section 2 for the substitution argument.
+"""
+
+from .call import Call, CallState
+from .exchange import TelephoneExchange
+from .line import CallerInfo, HookState, Line
+from .party import (
+    Dial,
+    HangUp,
+    SendDtmf,
+    SimulatedParty,
+    Speak,
+    Step,
+    Wait,
+    WaitForConnect,
+    WaitForSilence,
+)
+
+__all__ = [
+    "Call", "CallState", "CallerInfo", "Dial", "HangUp", "HookState",
+    "Line", "SendDtmf", "SimulatedParty", "Speak", "Step",
+    "TelephoneExchange", "Wait", "WaitForConnect", "WaitForSilence",
+]

@@ -1,0 +1,154 @@
+"""The simulated central office.
+
+The paper's telephone devices sit on real analog lines; ours sit on this
+exchange, which provides the same externally-visible behaviour: dialing,
+ringing with caller ID, call forwarding, busy treatment, two-way audio,
+and hangup supervision.  The exchange is ticked by the audio hub, so
+every timer is sample-accurate and deterministic under the virtual
+pacer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .call import Call, CallState
+from .line import CallerInfo, HookState, Line
+
+
+class TelephoneExchange:
+    """Lines, calls, and the block-granular audio bridge between them."""
+
+    #: Seconds of unanswered ringing before the call fails (or forwards).
+    NO_ANSWER_SECONDS = 30.0
+    #: Seconds of ringing before an unanswered call forwards, when the
+    #: callee has ``forward_to`` set.
+    FORWARD_AFTER_SECONDS = 6.0
+
+    def __init__(self, sample_rate: int = 8000) -> None:
+        self.sample_rate = sample_rate
+        self.lines: dict[str, Line] = {}
+        self.calls: list[Call] = []
+        self._sample_time = 0
+        self._parties = []      # scripted SimulatedParty instances
+
+    # -- provisioning ---------------------------------------------------------
+
+    def add_line(self, number: str) -> Line:
+        if number in self.lines:
+            raise ValueError("number %s already assigned" % number)
+        line = Line(number, self)
+        self.lines[number] = line
+        return line
+
+    def add_party(self, party) -> None:
+        """Attach a scripted remote party (ticked with the exchange)."""
+        self._parties.append(party)
+
+    # -- line signaling (called by Line) ---------------------------------------
+
+    def call_for(self, line: Line) -> Call | None:
+        """The non-ended call this line is on, if any."""
+        for call in self.calls:
+            if call.involves(line) and call.state in (
+                    CallState.SETUP, CallState.RINGING, CallState.CONNECTED):
+                return call
+        return None
+
+    def dial(self, caller: Line, number: str) -> None:
+        """Start a call from ``caller`` to ``number``."""
+        if self.call_for(caller) is not None:
+            raise RuntimeError("line %s already on a call" % caller.number)
+        call = Call(caller, self.lines.get(number))
+        if call.callee is None:
+            call.state = CallState.FAILED
+            call.failure_reason = "no such number"
+            self.calls.append(call)
+            caller.call_failed("no such number")
+            return
+        if call.callee is call.caller:
+            call.state = CallState.FAILED
+            call.failure_reason = "called self"
+            self.calls.append(call)
+            caller.call_failed("called self")
+            return
+        if (call.callee.hook is HookState.OFF_HOOK
+                or self.call_for(call.callee) is not None):
+            call.state = CallState.FAILED
+            call.failure_reason = "busy"
+            self.calls.append(call)
+            caller.call_failed("busy")
+            return
+        call.state = CallState.RINGING
+        call.ringing_since = self._sample_time
+        self.calls.append(call)
+        call.callee.start_ringing(call.caller_info())
+
+    def line_off_hook(self, line: Line) -> None:
+        """A line went off hook: answer if it was ringing."""
+        call = self.call_for(line)
+        if call is None:
+            return
+        if call.state is CallState.RINGING and line is call.callee:
+            call.state = CallState.CONNECTED
+            call.caller.far_end_answered()
+
+    def line_on_hook(self, line: Line) -> None:
+        """A line hung up: tear its call down and tell the other side."""
+        call = self.call_for(line)
+        if call is None:
+            return
+        other = call.other_party(line)
+        call.state = CallState.ENDED
+        if other.ringing:
+            other.stop_ringing()
+        else:
+            other.far_end_hung_up()
+
+    # -- audio ------------------------------------------------------------------
+
+    def route_audio(self, sender: Line, samples: np.ndarray) -> None:
+        call = self.call_for(sender)
+        if call is None or call.state is not CallState.CONNECTED:
+            return
+        call.other_party(sender).deliver_audio(samples)
+
+    # -- time -------------------------------------------------------------------
+
+    def tick(self, frames: int) -> None:
+        """Advance exchange time by one block; run timers and parties."""
+        self._sample_time += frames
+        for call in list(self.calls):
+            if call.state is not CallState.RINGING:
+                continue
+            ringing_for = ((self._sample_time - call.ringing_since)
+                           / self.sample_rate)
+            forward_to = call.callee.forward_to
+            if (forward_to is not None
+                    and ringing_for >= self.FORWARD_AFTER_SECONDS):
+                self._forward(call, forward_to)
+            elif ringing_for >= self.NO_ANSWER_SECONDS:
+                call.state = CallState.FAILED
+                call.failure_reason = "no answer"
+                call.callee.stop_ringing()
+                call.caller.call_failed("no answer")
+        # Snapshot: parties may be added concurrently (tests, tools).
+        for party in list(self._parties):
+            party.tick(frames)
+
+    def _forward(self, call: Call, number: str) -> None:
+        """Redirect an unanswered ringing call to the forward target."""
+        target = self.lines.get(number)
+        original_callee = call.callee
+        original_callee.stop_ringing()
+        if (target is None or target is call.caller
+                or target.hook is HookState.OFF_HOOK
+                or self.call_for(target) is not None):
+            call.state = CallState.FAILED
+            call.failure_reason = "forward failed"
+            call.caller.call_failed("forward failed")
+            return
+        call.callee = target
+        call.forwarded_from = original_callee.number
+        call.ringing_since = self._sample_time
+        target.start_ringing(call.caller_info())

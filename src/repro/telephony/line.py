@@ -1,0 +1,140 @@
+"""Subscriber lines.
+
+A :class:`Line` is one subscriber loop on the simulated exchange: it has
+a directory number, a hook state, and full-duplex audio at block
+granularity.  The workstation's telephone hardware (the hub's
+LineDevice) owns one side; the exchange bridges the other side to the
+remote party when a call is up.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class HookState(enum.Enum):
+    ON_HOOK = "on-hook"
+    OFF_HOOK = "off-hook"
+
+
+@dataclass(frozen=True)
+class CallerInfo:
+    """Calling-party information delivered with ringing (paper 5.1).
+
+    "Telephones may report information about incoming calls, such as the
+    identity of the caller and whether the call was forwarded from
+    another number."
+    """
+
+    number: str
+    forwarded_from: str | None = None
+
+
+class Line:
+    """One subscriber line: number, hook state, block-granular audio."""
+
+    def __init__(self, number: str, exchange=None) -> None:
+        self.number = number
+        self.exchange = exchange
+        self.hook = HookState.ON_HOOK
+        self.ringing = False
+        self.caller_info: CallerInfo | None = None
+        #: Numbers this line forwards to when it does not answer.
+        self.forward_to: str | None = None
+        self._inbound: deque[np.ndarray] = deque()
+        self._listeners: list = []
+
+    # -- signaling ----------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register for on_ring_start/on_ring_stop/on_far_hangup/
+        on_answered callbacks."""
+        self._listeners.append(listener)
+
+    def _notify(self, method_name: str, *args) -> None:
+        for listener in self._listeners:
+            method = getattr(listener, method_name, None)
+            if method is not None:
+                method(*args)
+
+    def start_ringing(self, caller_info: CallerInfo) -> None:
+        self.ringing = True
+        self.caller_info = caller_info
+        self._notify("on_ring_start", caller_info)
+
+    def stop_ringing(self) -> None:
+        if self.ringing:
+            self.ringing = False
+            self._notify("on_ring_stop")
+
+    def far_end_answered(self) -> None:
+        self._notify("on_answered")
+
+    def far_end_hung_up(self) -> None:
+        self._inbound.clear()
+        self._notify("on_far_hangup")
+
+    def call_failed(self, reason: str) -> None:
+        self._notify("on_call_failed", reason)
+
+    # -- hook control (the subscriber's side) --------------------------------
+
+    def off_hook(self) -> None:
+        """Lift the handset: answers a ringing call or starts a new one."""
+        if self.hook is HookState.OFF_HOOK:
+            return
+        self.hook = HookState.OFF_HOOK
+        self.stop_ringing()
+        if self.exchange is not None:
+            self.exchange.line_off_hook(self)
+
+    def on_hook(self) -> None:
+        """Hang up."""
+        if self.hook is HookState.ON_HOOK:
+            return
+        self.hook = HookState.ON_HOOK
+        self._inbound.clear()
+        if self.exchange is not None:
+            self.exchange.line_on_hook(self)
+
+    def dial(self, number: str) -> None:
+        """Dial a number (the line must be off hook)."""
+        if self.hook is not HookState.OFF_HOOK:
+            raise RuntimeError("cannot dial on hook")
+        if self.exchange is not None:
+            self.exchange.dial(self, number)
+
+    # -- audio ---------------------------------------------------------------
+
+    def send_audio(self, samples: np.ndarray) -> None:
+        """Transmit a block toward the far end (dropped if no call)."""
+        if self.exchange is not None and self.hook is HookState.OFF_HOOK:
+            self.exchange.route_audio(self, np.asarray(samples,
+                                                       dtype=np.int16))
+
+    def deliver_audio(self, samples: np.ndarray) -> None:
+        """Called by the exchange: a block arrived from the far end."""
+        self._inbound.append(samples)
+        # Bound buffering to about a second at telephone rate so a stalled
+        # reader does not accumulate unbounded audio.
+        while len(self._inbound) > 64:
+            self._inbound.popleft()
+
+    def receive_audio(self, frames: int) -> np.ndarray:
+        """The next ``frames`` received samples (silence-padded)."""
+        out = np.zeros(frames, dtype=np.int16)
+        filled = 0
+        while filled < frames and self._inbound:
+            block = self._inbound[0]
+            take = min(len(block), frames - filled)
+            out[filled:filled + take] = block[:take]
+            if take == len(block):
+                self._inbound.popleft()
+            else:
+                self._inbound[0] = block[take:]
+            filled += take
+        return out

@@ -1,0 +1,218 @@
+"""Scripted remote parties.
+
+A :class:`SimulatedParty` is a person (or machine) on the far end of the
+telephone network: it can place calls, answer after a few rings, speak,
+press touch-tone keys, listen, and hang up.  Tests and examples script it
+with a list of :class:`Step` actions; the exchange ticks it in audio
+time, so its behaviour is deterministic.
+
+Everything it hears is recorded in ``heard``, which is how tests assert
+that the answering machine's greeting actually made it to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.dtmf import generate_digits
+from .line import CallerInfo, HookState, Line
+
+
+class Step:
+    """One scripted action; subclasses implement ``run``."""
+
+    def start(self, party: "SimulatedParty") -> None:
+        pass
+
+    def tick(self, party: "SimulatedParty", frames: int) -> bool:
+        """Advance by a block; return True when the step is finished."""
+        raise NotImplementedError
+
+
+@dataclass
+class Wait(Step):
+    """Do nothing for a number of seconds."""
+
+    seconds: float
+    _remaining: int = 0
+
+    def start(self, party: "SimulatedParty") -> None:
+        self._remaining = int(self.seconds * party.sample_rate)
+
+    def tick(self, party: "SimulatedParty", frames: int) -> bool:
+        self._remaining -= frames
+        return self._remaining <= 0
+
+
+class WaitForSilence(Step):
+    """Wait until the far end stops talking (e.g. greeting finished).
+
+    Finishes after ``silence_seconds`` of continuous quiet, but only once
+    something loud was heard first (so it synchronizes on the end of a
+    prompt rather than firing immediately).
+    """
+
+    def __init__(self, silence_seconds: float = 0.5,
+                 threshold: float = 200.0) -> None:
+        self.silence_seconds = silence_seconds
+        self.threshold = threshold
+        self._silent = 0
+        self._heard = False
+
+    def start(self, party: "SimulatedParty") -> None:
+        self._silent = 0
+        self._heard = False
+
+    def tick(self, party: "SimulatedParty", frames: int) -> bool:
+        block = party.last_heard_block
+        level = 0.0
+        if block is not None and len(block):
+            values = np.asarray(block, dtype=np.float64)
+            level = float(np.sqrt(np.mean(values * values)))
+        if level >= self.threshold:
+            self._heard = True
+            self._silent = 0
+        else:
+            self._silent += frames
+        return (self._heard
+                and self._silent >= self.silence_seconds * party.sample_rate)
+
+
+class Speak(Step):
+    """Play samples into the line (talking)."""
+
+    def __init__(self, samples: np.ndarray) -> None:
+        self.samples = np.asarray(samples, dtype=np.int16)
+        self._cursor = 0
+
+    def start(self, party: "SimulatedParty") -> None:
+        self._cursor = 0
+
+    def tick(self, party: "SimulatedParty", frames: int) -> bool:
+        end = min(self._cursor + frames, len(self.samples))
+        block = np.zeros(frames, dtype=np.int16)
+        block[:end - self._cursor] = self.samples[self._cursor:end]
+        party.line.send_audio(block)
+        self._cursor = end
+        return self._cursor >= len(self.samples)
+
+
+class SendDtmf(Speak):
+    """Press touch-tone keys (sent in-band, like a real phone)."""
+
+    def __init__(self, digits: str, sample_rate: int = 8000) -> None:
+        super().__init__(generate_digits(digits, sample_rate))
+        self.digits = digits
+
+
+@dataclass
+class HangUp(Step):
+    """Go on hook."""
+
+    def tick(self, party: "SimulatedParty", frames: int) -> bool:
+        party.line.on_hook()
+        return True
+
+
+@dataclass
+class Dial(Step):
+    """Go off hook and dial a number."""
+
+    number: str
+
+    def tick(self, party: "SimulatedParty", frames: int) -> bool:
+        party.line.off_hook()
+        party.line.dial(self.number)
+        return True
+
+
+class WaitForConnect(Step):
+    """Wait until the dialed call is answered (or fails)."""
+
+    def tick(self, party: "SimulatedParty", frames: int) -> bool:
+        return party.connected or party.call_failed
+
+
+class SimulatedParty:
+    """A scripted human on a line of the simulated exchange."""
+
+    def __init__(self, line: Line, answer_after_rings: int | None = None,
+                 script: list[Step] | None = None) -> None:
+        self.line = line
+        self.sample_rate = line.exchange.sample_rate if line.exchange else 8000
+        self.answer_after_rings = answer_after_rings
+        self.script = list(script or [])
+        self.heard: list[np.ndarray] = []
+        self.last_heard_block: np.ndarray | None = None
+        self.connected = False
+        self.call_failed = False
+        self.ring_count = 0
+        self._script_started = False
+        self._ring_timer = 0
+        self._ringing = False
+        line.add_listener(self)
+
+    # -- line listener callbacks ---------------------------------------------
+
+    def on_ring_start(self, caller_info: CallerInfo) -> None:
+        self._ringing = True
+        self.ring_count = 0
+        self._ring_timer = 0
+
+    def on_ring_stop(self) -> None:
+        self._ringing = False
+
+    def on_answered(self) -> None:
+        self.connected = True
+
+    def on_far_hangup(self) -> None:
+        self.connected = False
+        self.line.on_hook()
+
+    def on_call_failed(self, reason: str) -> None:
+        self.call_failed = True
+
+    # -- scripting --------------------------------------------------------------
+
+    def heard_audio(self) -> np.ndarray:
+        """Everything this party has heard, concatenated."""
+        if not self.heard:
+            return np.zeros(0, dtype=np.int16)
+        return np.concatenate(self.heard)
+
+    def tick(self, frames: int) -> None:
+        """One audio block of life."""
+        # Ring counting / answering.
+        if self._ringing:
+            self._ring_timer += frames
+            # North American cadence: one ring per 6 seconds.
+            rings = 1 + self._ring_timer // (6 * self.sample_rate)
+            if rings > self.ring_count:
+                self.ring_count = rings
+            if (self.answer_after_rings is not None
+                    and self.ring_count >= self.answer_after_rings):
+                self.line.off_hook()
+                self.connected = True
+                self._ringing = False
+        # Listen.
+        if self.line.hook is HookState.OFF_HOOK:
+            block = self.line.receive_audio(frames)
+            self.heard.append(block)
+            self.last_heard_block = block
+        else:
+            self.last_heard_block = None
+        # Run the script once the party is engaged (off hook), or
+        # immediately if the script starts with a Dial.
+        if self.script and not self._script_started:
+            if (self.line.hook is HookState.OFF_HOOK
+                    or isinstance(self.script[0], (Dial, Wait))):
+                self._script_started = True
+                self.script[0].start(self)
+        if self._script_started and self.script:
+            step = self.script[0]
+            if step.tick(self, frames):
+                self.script.pop(0)
+                if self.script:
+                    self.script[0].start(self)

@@ -1,0 +1,25 @@
+"""The user-level toolkit (paper section 4.2): policy-free components
+for building audio user interfaces on top of Alib."""
+
+from .addressbook import AddressBook, Entry, SpeedDialer
+from .components import (
+    Component,
+    DesktopPlayer,
+    PhoneDialer,
+    TapeRecorder,
+)
+from .menus import (
+    MenuChoice,
+    PromptAndRecord,
+    TouchToneMenu,
+    build_phone_menu,
+)
+from .soundviewer import Selection, Soundviewer
+from .sync import CuePoint, MediaSynchronizer
+
+__all__ = [
+    "AddressBook", "Component", "CuePoint", "DesktopPlayer", "Entry",
+    "MediaSynchronizer", "MenuChoice", "PhoneDialer", "PromptAndRecord",
+    "Selection", "Soundviewer", "SpeedDialer", "TapeRecorder",
+    "TouchToneMenu", "build_phone_menu",
+]

@@ -1,0 +1,104 @@
+"""Address book and speed dialer.
+
+"With the ability to control the telephone, a workstation can be used to
+place calls from graphical speed dialers, an address book..."
+(paper section 1.2)
+
+The :class:`AddressBook` is the data model (names, numbers, groups, a
+simple prefix search); the :class:`SpeedDialer` binds it to a
+:class:`~repro.toolkit.components.PhoneDialer` so one call places a call
+by name.  Policy-free: the GUI on top is the application's business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .components import PhoneDialer
+
+
+@dataclass
+class Entry:
+    name: str
+    number: str
+    group: str = ""
+    notes: str = ""
+
+
+class AddressBook:
+    """Named telephone numbers with lookup and prefix search."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, Entry] = {}
+
+    def add(self, name: str, number: str, group: str = "",
+            notes: str = "") -> Entry:
+        key = name.strip().lower()
+        if not key:
+            raise ValueError("entries need a name")
+        if not number.strip():
+            raise ValueError("entries need a number")
+        if key in self._entries:
+            raise ValueError("duplicate entry %r" % name)
+        entry = Entry(name.strip(), number.strip(), group, notes)
+        self._entries[key] = entry
+        return entry
+
+    def remove(self, name: str) -> None:
+        key = name.strip().lower()
+        if key not in self._entries:
+            raise KeyError(name)
+        del self._entries[key]
+
+    def lookup(self, name: str) -> Entry | None:
+        return self._entries.get(name.strip().lower())
+
+    def search(self, prefix: str) -> list[Entry]:
+        """Entries whose name starts with the prefix, sorted by name."""
+        prefix = prefix.strip().lower()
+        found = [entry for key, entry in self._entries.items()
+                 if key.startswith(prefix)]
+        return sorted(found, key=lambda entry: entry.name.lower())
+
+    def group(self, group: str) -> list[Entry]:
+        return sorted((entry for entry in self._entries.values()
+                       if entry.group == group),
+                      key=lambda entry: entry.name.lower())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(sorted(self._entries.values(),
+                           key=lambda entry: entry.name.lower()))
+
+
+class SpeedDialer:
+    """An address book wired to a phone dialer: call people by name."""
+
+    def __init__(self, dialer: PhoneDialer,
+                 book: AddressBook | None = None) -> None:
+        self.dialer = dialer
+        self.book = book or AddressBook()
+        self.call_log: list[tuple[str, str, bool]] = []
+
+    def call(self, name: str, timeout: float = 30.0) -> bool:
+        """Place a call to a named entry; returns True when connected."""
+        entry = self.book.lookup(name)
+        if entry is None:
+            matches = self.book.search(name)
+            if len(matches) == 1:
+                entry = matches[0]
+            elif matches:
+                raise LookupError(
+                    "ambiguous name %r: %s"
+                    % (name, ", ".join(match.name for match in matches)))
+            else:
+                raise LookupError("no entry for %r" % name)
+        self.dialer.call(entry.number)
+        connected = self.dialer.wait_connected(timeout)
+        self.call_log.append((entry.name, entry.number, connected))
+        return connected
+
+    def hang_up(self) -> None:
+        self.dialer.hang_up()

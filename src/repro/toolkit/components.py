@@ -1,0 +1,202 @@
+"""Toolkit components: pre-wired audio structures.
+
+"The goals of the toolkit are to: hide or automate wiring of devices for
+greater portability, hide the location and format of sound data, hide
+and manage device queue management, and provide mechanisms for
+synchronizing audio with other media ...  the toolkit is 'policy free'."
+(paper section 4.2)
+
+Each component owns one LOUD, builds its devices and wires, and exposes
+task-level verbs; applications that need finer control drop down to the
+Alib handles the component exposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..alib.api import AudioClient, DeviceHandle, LoudHandle, SoundHandle
+from ..protocol.types import (
+    Command,
+    DeviceClass,
+    EventCode,
+    EventMask,
+    MULAW_8K,
+    RecordTermination,
+    SoundType,
+)
+
+
+class Component:
+    """Base: owns a LOUD and forwards queue control."""
+
+    def __init__(self, client: AudioClient,
+                 attributes: dict | None = None) -> None:
+        self.client = client
+        self.loud: LoudHandle = client.create_loud(attributes=attributes)
+        self.loud.select_events(EventMask.QUEUE | EventMask.LIFECYCLE)
+
+    def map(self) -> None:
+        self.loud.map()
+
+    def unmap(self) -> None:
+        self.loud.unmap()
+
+    def start(self) -> None:
+        self.loud.start_queue()
+
+    def stop(self) -> None:
+        self.loud.stop_queue()
+
+    def destroy(self) -> None:
+        self.loud.destroy()
+
+    def wait_queue_empty(self, timeout: float = 30.0) -> bool:
+        """Block until the component's queue drains."""
+        event = self.client.wait_for_event(
+            lambda e: (e.code is EventCode.QUEUE_EMPTY
+                       and e.resource == self.loud.loud_id),
+            timeout=timeout)
+        return event is not None
+
+    def wait_command_done(self, timeout: float = 30.0):
+        return self.client.wait_for_event(
+            lambda e: (e.code is EventCode.COMMAND_DONE
+                       and e.resource == self.loud.loud_id),
+            timeout=timeout)
+
+
+class DesktopPlayer(Component):
+    """A player wired to a speaker: the hello-world of desktop audio."""
+
+    def __init__(self, client: AudioClient,
+                 speaker_attributes: dict | None = None) -> None:
+        super().__init__(client)
+        self.loud.select_events(EventMask.QUEUE | EventMask.LIFECYCLE
+                                | EventMask.PLAYER | EventMask.SYNC)
+        self.player: DeviceHandle = self.loud.create_device(
+            DeviceClass.PLAYER)
+        self.output: DeviceHandle = self.loud.create_device(
+            DeviceClass.OUTPUT, speaker_attributes)
+        self.loud.wire(self.player, 0, self.output, 0)
+
+    def play(self, sound: SoundHandle, sync_interval_ms: int = 0,
+             wait: bool = False, timeout: float = 30.0) -> None:
+        self.player.play(sound, sync_interval_ms=sync_interval_ms)
+        self.loud.start_queue()
+        if wait:
+            self.wait_command_done(timeout)
+
+    def play_samples(self, samples: np.ndarray,
+                     sound_type: SoundType = MULAW_8K,
+                     wait: bool = False) -> SoundHandle:
+        sound = self.client.sound_from_samples(samples, sound_type)
+        self.play(sound, wait=wait)
+        return sound
+
+    def say(self, text: str, wait: bool = False,
+            timeout: float = 30.0) -> None:
+        """Speak text through a synthesizer wired alongside the player."""
+        if not hasattr(self, "_synth"):
+            self._synth = self.loud.create_device(DeviceClass.SYNTHESIZER)
+            self.loud.wire(self._synth, 0, self.output, 0)
+        self._synth.speak_text(text)
+        self.loud.start_queue()
+        if wait:
+            self.wait_command_done(timeout)
+
+
+class TapeRecorder(Component):
+    """The paper's example substructure: 'a tape recorder that plays and
+    records' -- a microphone into a recorder, plus a player to a speaker
+    for playback.
+    """
+
+    def __init__(self, client: AudioClient,
+                 recorder_attributes: dict | None = None) -> None:
+        super().__init__(client)
+        self.loud.select_events(EventMask.QUEUE | EventMask.LIFECYCLE
+                                | EventMask.PLAYER | EventMask.RECORDER)
+        self.microphone = self.loud.create_device(DeviceClass.INPUT)
+        self.recorder = self.loud.create_device(DeviceClass.RECORDER,
+                                                recorder_attributes)
+        self.player = self.loud.create_device(DeviceClass.PLAYER)
+        self.output = self.loud.create_device(DeviceClass.OUTPUT)
+        self.loud.wire(self.microphone, 0, self.recorder, 0)
+        self.loud.wire(self.player, 0, self.output, 0)
+        self._tape: SoundHandle | None = None
+
+    def record(self, max_length_ms: int | None = None,
+               on_pause: bool = False) -> SoundHandle:
+        """Start recording to a fresh tape sound."""
+        self._tape = self.client.create_sound(MULAW_8K)
+        termination = (RecordTermination.ON_PAUSE if on_pause
+                       else (RecordTermination.MAX_LENGTH
+                             if max_length_ms is not None
+                             else RecordTermination.EXPLICIT))
+        self.recorder.record(self._tape, termination=int(termination),
+                             max_length_ms=max_length_ms)
+        self.loud.start_queue()
+        return self._tape
+
+    def stop_recording(self) -> None:
+        self.recorder.stop()
+
+    def play_back(self, wait: bool = False) -> None:
+        if self._tape is None:
+            raise RuntimeError("nothing recorded yet")
+        self.player.play(self._tape)
+        self.loud.start_queue()
+        if wait:
+            self.wait_command_done()
+
+    @property
+    def tape(self) -> SoundHandle | None:
+        return self._tape
+
+
+class PhoneDialer(Component):
+    """Place outgoing calls with prompts: the graphical speed dialer's
+    audio backend ("a workstation can be used to place calls from
+    graphical speed dialers", paper section 1.2)."""
+
+    def __init__(self, client: AudioClient,
+                 line_attributes: dict | None = None) -> None:
+        super().__init__(client)
+        self.telephone = self.loud.create_device(DeviceClass.TELEPHONE,
+                                                 line_attributes)
+        self.player = self.loud.create_device(DeviceClass.PLAYER)
+        self.loud.wire(self.player, 0, self.telephone, 1)
+        self.loud.select_events(EventMask.QUEUE | EventMask.TELEPHONE
+                                | EventMask.DTMF | EventMask.LIFECYCLE)
+
+    def call(self, number: str) -> None:
+        self.map()
+        self.telephone.dial(number)
+        self.loud.start_queue()
+
+    def wait_connected(self, timeout: float = 30.0) -> bool:
+        from ..protocol.types import CallProgress
+
+        event = self.client.wait_for_event(
+            lambda e: (e.code is EventCode.CALL_PROGRESS
+                       and e.detail in (int(CallProgress.CONNECTED),
+                                        int(CallProgress.BUSY),
+                                        int(CallProgress.FAILED))),
+            timeout=timeout)
+        from ..protocol.types import CallProgress as CP
+
+        return event is not None and event.detail == int(CP.CONNECTED)
+
+    def play(self, sound: SoundHandle) -> None:
+        self.player.play(sound)
+        self.loud.start_queue()
+
+    def send_digits(self, digits: str) -> None:
+        self.telephone.send_dtmf(digits)
+        self.loud.start_queue()
+
+    def hang_up(self) -> None:
+        from ..protocol.types import CommandMode
+
+        self.telephone.issue(Command.HANG_UP, mode=CommandMode.IMMEDIATE)

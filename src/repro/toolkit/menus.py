@@ -1,0 +1,152 @@
+"""Touch-tone menus and audio dialogues.
+
+The paper's toolkit exists so clients can "construct audio user
+interfaces, such as an audio dialogue or touch tone-based menu"
+(section 4.2).  These are those two constructs, policy-free: the
+application supplies the prompts and the handlers; the toolkit runs the
+event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..alib.api import AudioClient, DeviceHandle, LoudHandle, SoundHandle
+from ..protocol import events as ev
+from ..protocol.types import (
+    Command,
+    DeviceClass,
+    EventCode,
+    EventMask,
+    MULAW_8K,
+    RecordTermination,
+)
+
+
+@dataclass
+class MenuChoice:
+    """One option in a touch-tone menu."""
+
+    digit: str
+    label: str
+    action: Callable[[], object] | None = None
+    #: Optional submenu to descend into instead of an action.
+    submenu: "TouchToneMenu | None" = None
+
+
+class TouchToneMenu:
+    """A telephone menu: speak a prompt, collect a digit, dispatch.
+
+    Runs over any LOUD containing a telephone and a synthesizer wired to
+    it; the menu logic is pure event handling, exactly what the paper's
+    dial-by-name and voice-mail applications need.
+    """
+
+    def __init__(self, client: AudioClient, loud: LoudHandle,
+                 telephone: DeviceHandle, synthesizer: DeviceHandle,
+                 prompt: str) -> None:
+        self.client = client
+        self.loud = loud
+        self.telephone = telephone
+        self.synthesizer = synthesizer
+        self.prompt = prompt
+        self.choices: dict[str, MenuChoice] = {}
+        self.invalid_message = "invalid choice"
+
+    def add_choice(self, digit: str, label: str,
+                   action: Callable[[], object] | None = None,
+                   submenu: "TouchToneMenu | None" = None) -> None:
+        if digit in self.choices:
+            raise ValueError("digit %s already in menu" % digit)
+        self.choices[digit] = MenuChoice(digit, label, action, submenu)
+
+    def speak_prompt(self) -> None:
+        self.synthesizer.speak_text(self.prompt)
+        self.loud.start_queue()
+
+    def read_digit(self, timeout: float = 30.0) -> str | None:
+        """Block until the caller presses a key (DTMF_NOTIFY)."""
+        event = self.client.wait_for_event(
+            lambda e: e.code is EventCode.DTMF_NOTIFY, timeout=timeout)
+        if event is None:
+            return None
+        return str(event.args.get(ev.ARG_DIGIT))
+
+    def run_once(self, timeout: float = 30.0) -> object | None:
+        """Prompt, read one digit, dispatch; returns the action result.
+
+        Unknown digits speak the invalid message and return None.
+        """
+        self.speak_prompt()
+        digit = self.read_digit(timeout)
+        if digit is None:
+            return None
+        choice = self.choices.get(digit)
+        if choice is None:
+            self.synthesizer.speak_text(self.invalid_message)
+            self.loud.start_queue()
+            return None
+        if choice.submenu is not None:
+            return choice.submenu.run_once(timeout)
+        if choice.action is not None:
+            return choice.action()
+        return choice.label
+
+
+class PromptAndRecord:
+    """The canonical audio dialogue: play a prompt, beep, record.
+
+    The same queue pattern as the answering machine (paper section 5.9),
+    packaged for desktop use: prompt and beep play back-to-back, then
+    recording starts with no gap.
+    """
+
+    def __init__(self, client: AudioClient, loud: LoudHandle,
+                 player: DeviceHandle, recorder: DeviceHandle) -> None:
+        self.client = client
+        self.loud = loud
+        self.player = player
+        self.recorder = recorder
+
+    def run(self, prompt: SoundHandle, beep: SoundHandle,
+            max_length_ms: int = 10000,
+            pause_seconds: float | None = 2.0) -> SoundHandle:
+        """Queue prompt -> beep -> record; returns the recording sound.
+
+        The caller waits for the recorder's RECORD_STOPPED (or the
+        queue's COMMAND_DONE) to know the take finished.
+        """
+        take = self.client.create_sound(MULAW_8K)
+        self.player.play(prompt)
+        self.player.play(beep)
+        termination = (RecordTermination.ON_PAUSE
+                       if pause_seconds is not None
+                       else RecordTermination.MAX_LENGTH)
+        self.recorder.record(take, termination=int(termination),
+                             max_length_ms=max_length_ms,
+                             pause_seconds=pause_seconds)
+        self.loud.start_queue()
+        return take
+
+    def wait_done(self, timeout: float = 60.0) -> bool:
+        event = self.client.wait_for_event(
+            lambda e: (e.code is EventCode.COMMAND_DONE
+                       and e.args.get(ev.ARG_COMMAND)
+                       == int(Command.RECORD)),
+            timeout=timeout)
+        return event is not None
+
+
+def build_phone_menu(client: AudioClient, prompt: str,
+                     line_attributes: dict | None = None
+                     ) -> tuple[TouchToneMenu, LoudHandle]:
+    """Wire up a telephone + synthesizer LOUD and return its menu."""
+    loud = client.create_loud()
+    telephone = loud.create_device(DeviceClass.TELEPHONE, line_attributes)
+    synthesizer = loud.create_device(DeviceClass.SYNTHESIZER)
+    loud.wire(synthesizer, 0, telephone, 1)
+    loud.select_events(EventMask.QUEUE | EventMask.TELEPHONE
+                       | EventMask.DTMF | EventMask.LIFECYCLE)
+    menu = TouchToneMenu(client, loud, telephone, synthesizer, prompt)
+    return menu, loud

@@ -1,0 +1,146 @@
+"""The Soundviewer widget (paper Figure 6-1), terminal edition.
+
+"The widget displays a continually updated bar graph as a sound is
+played.  Audio server synchronization events are used to control the
+graphics; the bar chart is updated in response to these events ...  The
+darkened area is the part of the sound that has already been played.
+The tick marks give an indication of the sound length.  The dashes in
+the middle denote a part of the sound that has been selected, to be
+pasted into another application."
+
+The original drew X pixels; ours draws terminal cells, but the data flow
+is identical: the widget never polls -- it repaints purely in response
+to SYNC events from the audio server, which is the synchronization
+mechanism the paper is demonstrating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..protocol import events as ev
+from ..protocol.events import Event
+from ..protocol.types import EventCode
+
+FILLED = "▓"   # played portion
+EMPTY = "░"    # unplayed portion
+SELECTED = "-"      # selected region marker
+TICK = "|"
+
+
+@dataclass
+class Selection:
+    """A selected region (to be pasted into another application)."""
+
+    start_frame: int
+    end_frame: int
+
+
+class Soundviewer:
+    """Bar-graph display for a playing -- or recording -- sound.
+
+    The paper's Figure 6-1 caption: "The Soundviewer widget supports
+    audio playback and recording using several display modes."  Playback
+    mode tracks a known total; recording mode (see
+    :meth:`for_recording`) grows against a rolling window because the
+    take's length is not yet known.
+    """
+
+    def __init__(self, total_frames: int, sample_rate: int = 8000,
+                 width: int = 40, tick_seconds: float = 1.0) -> None:
+        if total_frames <= 0:
+            raise ValueError("total_frames must be positive")
+        self.total_frames = total_frames
+        self.sample_rate = sample_rate
+        self.width = width
+        self.tick_seconds = tick_seconds
+        self.frames_done = 0
+        self.recording = False
+        self.selection: Selection | None = None
+        self.repaints = 0
+        self._listeners: list = []
+
+    @classmethod
+    def for_recording(cls, sample_rate: int = 8000, width: int = 40,
+                      window_seconds: float = 10.0) -> "Soundviewer":
+        """A record-mode viewer: the bar fills a rolling time window."""
+        viewer = cls(total_frames=int(window_seconds * sample_rate),
+                     sample_rate=sample_rate, width=width)
+        viewer.recording = True
+        return viewer
+
+    # -- event-driven updates -----------------------------------------------------
+
+    def handle_event(self, event: Event) -> bool:
+        """Feed a server event; returns True if the display changed."""
+        if event.code is not EventCode.SYNC:
+            return False
+        frames_done = event.args.get(ev.ARG_FRAMES_DONE)
+        if frames_done is None:
+            return False
+        self._raw_frames_done = int(frames_done)
+        self.frames_done = min(int(frames_done), self.total_frames)
+        total = event.args.get(ev.ARG_FRAMES_TOTAL)
+        if total is not None and int(total) > 0 and not self.recording:
+            self.total_frames = int(total)
+        self.repaints += 1
+        for listener in self._listeners:
+            listener(self)
+        return True
+
+    def on_repaint(self, listener) -> None:
+        self._listeners.append(listener)
+
+    # -- selection --------------------------------------------------------------------
+
+    def select(self, start_frame: int, end_frame: int) -> None:
+        if not 0 <= start_frame < end_frame <= self.total_frames:
+            raise ValueError("bad selection range")
+        self.selection = Selection(start_frame, end_frame)
+
+    def clear_selection(self) -> None:
+        self.selection = None
+
+    @property
+    def selected_range(self) -> tuple[int, int] | None:
+        if self.selection is None:
+            return None
+        return (self.selection.start_frame, self.selection.end_frame)
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def _cell(self, index: int) -> str:
+        frame_at = (index + 0.5) * self.total_frames / self.width
+        if self.selection is not None and \
+                self.selection.start_frame <= frame_at \
+                < self.selection.end_frame:
+            return SELECTED
+        if frame_at < self.frames_done:
+            return FILLED
+        return EMPTY
+
+    def render(self) -> str:
+        """One line of bar graph, e.g. '▓▓▓▓--░░░░ 1.2/4.0s'."""
+        bar = "".join(self._cell(index) for index in range(self.width))
+        done = getattr(self, "_raw_frames_done", self.frames_done)
+        done_seconds = done / self.sample_rate
+        if self.recording:
+            return "%s REC %5.1fs" % (bar, done_seconds)
+        total_seconds = self.total_frames / self.sample_rate
+        return "%s %4.1f/%.1fs" % (bar, done_seconds, total_seconds)
+
+    def render_ticks(self) -> str:
+        """The tick-mark ruler under the bar (one tick per second)."""
+        cells = [" "] * self.width
+        tick_frames = self.tick_seconds * self.sample_rate
+        count = int(self.total_frames / tick_frames)
+        for tick in range(1, count + 1):
+            index = int(tick * tick_frames * self.width / self.total_frames)
+            index = min(index, self.width - 1)
+            if index >= 0:
+                cells[index] = TICK
+        return "".join(cells)
+
+    @property
+    def fraction_done(self) -> float:
+        return self.frames_done / self.total_frames

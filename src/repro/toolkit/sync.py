@@ -1,0 +1,85 @@
+"""Synchronizing audio with other media.
+
+"The synchronization events are used to coordinate the audio stream with
+other media or services.  For example, consider an application
+displaying a set of images while playing a stored digital sound track
+...  The application monitors the audio server synchronization events on
+the sound track, and uses them to time the update of the display."
+(paper section 5.7)
+
+:class:`MediaSynchronizer` is that pattern as a reusable object: cue
+points in audio time trigger callbacks as SYNC events stream in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..protocol import events as ev
+from ..protocol.events import Event
+from ..protocol.types import EventCode
+
+
+@dataclass(order=True)
+class CuePoint:
+    frame: int
+    name: str = field(compare=False)
+    action: Callable[[], object] | None = field(compare=False, default=None)
+
+
+class MediaSynchronizer:
+    """Fires cue-point callbacks as audio playback progresses.
+
+    Feed every event from the client's queue through
+    :meth:`handle_event`; cue points whose frame has been passed fire
+    exactly once, in order.
+    """
+
+    def __init__(self) -> None:
+        self._cues: list[CuePoint] = []
+        self._fired: list[CuePoint] = []
+        self.frames_done = 0
+
+    def add_cue(self, frame: int, name: str,
+                action: Callable[[], object] | None = None) -> None:
+        if frame < 0:
+            raise ValueError("cue frame must be non-negative")
+        self._cues.append(CuePoint(frame, name, action))
+        self._cues.sort()
+
+    def add_cues_every(self, interval_frames: int, count: int,
+                       action: Callable[[int], object] | None = None,
+                       prefix: str = "cue") -> None:
+        """Regular cues (a slideshow: one image per interval)."""
+        for index in range(count):
+            bound_action = None
+            if action is not None:
+                bound_action = (lambda i=index: action(i))
+            self.add_cue(index * interval_frames,
+                         "%s-%d" % (prefix, index), bound_action)
+
+    def handle_event(self, event: Event) -> list[str]:
+        """Process one event; returns names of cues that fired."""
+        if event.code is not EventCode.SYNC:
+            return []
+        frames_done = event.args.get(ev.ARG_FRAMES_DONE)
+        if frames_done is None:
+            return []
+        self.frames_done = int(frames_done)
+        fired_names = []
+        while self._cues and self._cues[0].frame <= self.frames_done:
+            cue = self._cues.pop(0)
+            self._fired.append(cue)
+            if cue.action is not None:
+                cue.action()
+            fired_names.append(cue.name)
+        return fired_names
+
+    @property
+    def fired(self) -> list[str]:
+        return [cue.name for cue in self._fired]
+
+    @property
+    def remaining(self) -> int:
+        return len(self._cues)

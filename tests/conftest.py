@@ -1,0 +1,67 @@
+"""Shared fixtures: a running audio server and connected clients."""
+
+import numpy as np
+import pytest
+
+from repro.alib import AudioClient
+from repro.hardware import HardwareConfig
+from repro.server import AudioServer
+
+RATE = 8000
+BLOCK = 160
+
+
+@pytest.fixture
+def server():
+    """A running audio server on an ephemeral port (virtual pacing)."""
+    audio_server = AudioServer(HardwareConfig())
+    audio_server.start()
+    yield audio_server
+    audio_server.stop()
+
+
+@pytest.fixture
+def client(server):
+    """One connected client."""
+    audio_client = AudioClient(port=server.port, client_name="test")
+    yield audio_client
+    audio_client.close()
+
+
+@pytest.fixture
+def second_client(server):
+    audio_client = AudioClient(port=server.port, client_name="test-2")
+    yield audio_client
+    audio_client.close()
+
+
+@pytest.fixture
+def make_client(server):
+    """Factory for extra clients, all cleaned up at teardown."""
+    created = []
+
+    def factory(name="extra"):
+        audio_client = AudioClient(port=server.port, client_name=name)
+        created.append(audio_client)
+        return audio_client
+
+    yield factory
+    for audio_client in created:
+        audio_client.close()
+
+
+def wait_for(predicate, timeout=10.0):
+    """Poll a predicate with a wall-clock timeout."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return predicate()
+
+
+def speaker_audio(server, settle_blocks: int = 3) -> np.ndarray:
+    """The first speaker's captured output so far."""
+    return server.hub.speakers[0].capture.samples()

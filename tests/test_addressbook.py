@@ -1,0 +1,86 @@
+"""Tests for the address book and speed dialer."""
+
+import pytest
+
+from repro.telephony import SimulatedParty
+from repro.toolkit import AddressBook, PhoneDialer, SpeedDialer
+
+
+class TestAddressBook:
+    def test_add_and_lookup(self):
+        book = AddressBook()
+        book.add("Chris Schmandt", "5550202", group="lab")
+        entry = book.lookup("chris schmandt")
+        assert entry is not None
+        assert entry.number == "5550202"
+        assert entry.group == "lab"
+
+    def test_validation(self):
+        book = AddressBook()
+        with pytest.raises(ValueError):
+            book.add("", "5550202")
+        with pytest.raises(ValueError):
+            book.add("name", "  ")
+        book.add("x", "1")
+        with pytest.raises(ValueError):
+            book.add("X", "2")      # case-insensitive duplicate
+
+    def test_search_prefix(self):
+        book = AddressBook()
+        book.add("Susan", "1")
+        book.add("Siravara", "2")
+        book.add("Hyde", "3")
+        names = [entry.name for entry in book.search("s")]
+        assert names == ["Siravara", "Susan"]
+        assert book.search("zz") == []
+
+    def test_groups(self):
+        book = AddressBook()
+        book.add("a", "1", group="dec")
+        book.add("b", "2", group="mit")
+        book.add("c", "3", group="dec")
+        assert [entry.name for entry in book.group("dec")] == ["a", "c"]
+
+    def test_remove_and_iterate(self):
+        book = AddressBook()
+        book.add("b", "2")
+        book.add("a", "1")
+        assert [entry.name for entry in book] == ["a", "b"]
+        book.remove("a")
+        assert len(book) == 1
+        with pytest.raises(KeyError):
+            book.remove("a")
+
+
+class TestSpeedDialer:
+    def test_call_by_name(self, server, client):
+        line = server.hub.exchange.add_line("5550242")
+        party = SimulatedParty(line, answer_after_rings=1)
+        server.hub.exchange.add_party(party)
+        dialer = SpeedDialer(PhoneDialer(client))
+        dialer.book.add("Luong", "5550242")
+        assert dialer.call("luong")
+        assert dialer.call_log == [("Luong", "5550242", True)]
+        dialer.hang_up()
+
+    def test_call_by_unambiguous_prefix(self, server, client):
+        line = server.hub.exchange.add_line("5550243")
+        server.hub.exchange.add_party(
+            SimulatedParty(line, answer_after_rings=1))
+        dialer = SpeedDialer(PhoneDialer(client))
+        dialer.book.add("Angebranndt", "5550243")
+        dialer.book.add("Hyde", "5550244")
+        assert dialer.call("ange")
+        dialer.hang_up()
+
+    def test_ambiguous_prefix_raises(self, server, client):
+        dialer = SpeedDialer(PhoneDialer(client))
+        dialer.book.add("Sam", "1")
+        dialer.book.add("Sally", "2")
+        with pytest.raises(LookupError):
+            dialer.call("sa")
+
+    def test_unknown_name_raises(self, server, client):
+        dialer = SpeedDialer(PhoneDialer(client))
+        with pytest.raises(LookupError):
+            dialer.call("nobody")

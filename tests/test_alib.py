@@ -1,0 +1,195 @@
+"""Unit tests for the Alib connection machinery."""
+
+import threading
+import time
+
+import pytest
+
+from repro.alib import AudioClient, ConnectionError_
+from repro.alib.connection import AudioConnection
+from repro.protocol.errors import ProtocolError
+from repro.protocol.requests import GetTime, NoOperation, QueryLoud
+from repro.protocol.types import ErrorCode, EventCode, EventMask
+
+from conftest import wait_for
+
+
+class TestConnectionLifecycle:
+    def test_context_managers(self, server):
+        with AudioClient(port=server.port) as client:
+            assert client.server_info().sample_rate == 8000
+        assert client.conn.closed
+
+    def test_vendor_and_id_range_from_setup(self, server, client):
+        assert client.conn.vendor == "repro desktop audio"
+        assert client.conn.id_base > 0
+        assert client.conn.id_mask > 0
+
+    def test_send_after_close_raises(self, server, client):
+        client.close()
+        with pytest.raises(ConnectionError_):
+            client.conn.send(NoOperation())
+
+    def test_round_trip_after_server_stop(self, server):
+        client = AudioClient(port=server.port)
+        server.stop()
+        with pytest.raises((ConnectionError_, ProtocolError, TimeoutError,
+                            OSError)):
+            for _ in range(3):
+                client.conn.round_trip(GetTime(), timeout=2.0)
+        client.close()
+
+    def test_alloc_id_monotonic_and_unique(self, server, client):
+        allocated = [client.conn.alloc_id() for _ in range(100)]
+        assert len(set(allocated)) == 100
+        assert allocated == sorted(allocated)
+
+
+class TestRoundTrips:
+    def test_reply_matches_request(self, server, client):
+        # Interleave: pipeline no-ops, then a round trip; the reply must
+        # match the GetTime, not any earlier request.
+        for _ in range(50):
+            client.conn.send(NoOperation())
+        reply = client.conn.round_trip(GetTime())
+        assert reply.sample_time >= 0
+
+    def test_error_raised_on_matching_round_trip(self, server, client):
+        with pytest.raises(ProtocolError) as info:
+            client.conn.round_trip(QueryLoud(999_999_999))
+        assert info.value.code is ErrorCode.BAD_LOUD
+
+    def test_round_trip_requires_reply_request(self, server, client):
+        with pytest.raises(ValueError):
+            client.conn.round_trip(NoOperation())
+
+    def test_concurrent_round_trips(self, server, client):
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                results.append(client.conn.round_trip(GetTime()))
+            except Exception as exc:    # noqa: BLE001 - collecting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 8
+
+
+class TestErrorHandling:
+    def test_async_errors_collect(self, server, client):
+        from repro.protocol.requests import DestroyLoud
+
+        client.conn.send(DestroyLoud(42))
+        client.sync()
+        assert len(client.conn.errors) == 1
+
+    def test_on_error_callback(self, server, client):
+        from repro.protocol.requests import DestroyLoud
+
+        seen = []
+        client.conn.on_error = seen.append
+        client.conn.send(DestroyLoud(42))
+        client.sync()
+        assert len(seen) == 1
+        assert not client.conn.errors   # callback consumed it
+
+
+class TestEventQueue:
+    def test_wait_for_event_preserves_order(self, server, client):
+        loud = client.create_loud()
+        loud.select_events(EventMask.QUEUE | EventMask.LIFECYCLE)
+        from repro.protocol.types import DeviceClass
+
+        loud.create_device(DeviceClass.OUTPUT)
+        loud.map()
+        loud.start_queue()
+        loud.stop_queue()
+        # Wait for the *stop*; the earlier events must still be queued,
+        # in order, afterwards.
+        stopped = client.wait_for_event(
+            lambda e: e.code is EventCode.QUEUE_STOPPED, timeout=10)
+        assert stopped is not None
+        remaining = [e.code for e in client.pending_events()]
+        assert EventCode.MAP_NOTIFY in remaining
+        assert EventCode.QUEUE_STARTED in remaining
+        assert remaining.index(EventCode.MAP_NOTIFY) \
+            < remaining.index(EventCode.QUEUE_STARTED)
+
+    def test_next_event_timeout(self, server, client):
+        started = time.monotonic()
+        assert client.next_event(timeout=0.1) is None
+        assert time.monotonic() - started < 2.0
+
+    def test_wait_for_event_discard_others(self, server, client):
+        from repro.protocol.types import DeviceClass
+
+        loud = client.create_loud()
+        loud.select_events(EventMask.QUEUE | EventMask.LIFECYCLE)
+        loud.create_device(DeviceClass.OUTPUT)
+        loud.map()
+        loud.start_queue()
+        loud.stop_queue()
+        stopped = client.conn.wait_for_event(
+            lambda e: e.code is EventCode.QUEUE_STOPPED, timeout=10,
+            discard_others=True)
+        assert stopped is not None
+        assert client.pending_events() == []
+
+    def test_events_only_for_selected_resources(self, server, client,
+                                                second_client):
+        from repro.protocol.types import DeviceClass
+
+        loud = client.create_loud()
+        loud.select_events(EventMask.QUEUE | EventMask.LIFECYCLE)
+        loud.create_device(DeviceClass.OUTPUT)
+        loud.map()
+        client.sync()
+        second_client.sync()
+        # The second client selected nothing: it sees nothing.
+        assert second_client.next_event(timeout=0.2) is None
+
+    def test_deselect_stops_events(self, server, client):
+        from repro.protocol.types import DeviceClass
+
+        loud = client.create_loud()
+        loud.create_device(DeviceClass.OUTPUT)
+        loud.select_events(EventMask.LIFECYCLE)
+        loud.map()
+        assert client.wait_for_event(
+            lambda e: e.code is EventCode.MAP_NOTIFY, timeout=10)
+        loud.select_events(EventMask.NONE)
+        client.sync()
+        client.pending_events()
+        loud.unmap()
+        client.sync()
+        assert client.next_event(timeout=0.2) is None
+
+
+class TestAuFileHelpers:
+    def test_sound_from_au_and_save_au(self, server, client, tmp_path):
+        import numpy as np
+
+        from repro.dsp import tones
+        from repro.dsp.aufile import read_au, write_au
+        from repro.dsp.encodings import mulaw_encode
+        from repro.protocol.types import MULAW_8K
+
+        original = mulaw_encode(tones.sine(440.0, 0.2, 8000))
+        source_path = tmp_path / "in.au"
+        write_au(source_path, original, MULAW_8K, annotation="greeting")
+        sound = client.sound_from_au(source_path)
+        assert sound.query().frame_length == len(original)
+        # Round-trip back out through the server.
+        out_path = tmp_path / "out.au"
+        sound.save_au(out_path, annotation="copy")
+        data, sound_type, annotation = read_au(out_path)
+        assert data == original
+        assert sound_type == MULAW_8K
+        assert annotation == "copy"

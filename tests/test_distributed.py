@@ -1,0 +1,134 @@
+"""Two audio servers on one telephone network (the distributed story).
+
+"Networked access allows many workstations to share critical or
+expensive resources" (paper section 2) and the telephone network itself
+is the shared resource between workstations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alib import AudioClient
+from repro.dsp import tones
+from repro.hardware import AudioHub, HardwareConfig, LineSpec
+from repro.protocol.types import (
+    DeviceClass,
+    EventCode,
+    EventMask,
+    PCM16_8K,
+)
+from repro.server import AudioServer
+from repro.telephony import TelephoneExchange
+
+from conftest import wait_for
+
+RATE = 8000
+
+
+@pytest.fixture
+def two_workstations():
+    exchange = TelephoneExchange(RATE)
+    hub_a = AudioHub(HardwareConfig(lines=(LineSpec("line-0", "100"),)),
+                     exchange=exchange, tick_exchange=True)
+    hub_b = AudioHub(HardwareConfig(lines=(LineSpec("line-0", "200"),)),
+                     exchange=exchange, tick_exchange=False)
+    server_a = AudioServer(hub=hub_a)
+    server_b = AudioServer(hub=hub_b)
+    server_a.start()
+    server_b.start()
+    client_a = AudioClient(port=server_a.port, client_name="a")
+    client_b = AudioClient(port=server_b.port, client_name="b")
+    yield server_a, client_a, server_b, client_b
+    client_a.close()
+    client_b.close()
+    server_a.stop()
+    server_b.stop()
+
+
+class TestCrossWorkstationCalls:
+    def test_call_between_servers(self, two_workstations):
+        server_a, client_a, server_b, client_b = two_workstations
+        loud_a = client_a.create_loud()
+        phone_a = loud_a.create_device(DeviceClass.TELEPHONE)
+        loud_a.select_events(EventMask.QUEUE | EventMask.TELEPHONE)
+        loud_a.map()
+        loud_b = client_b.create_loud()
+        phone_b = loud_b.create_device(DeviceClass.TELEPHONE)
+        loud_b.select_events(EventMask.QUEUE | EventMask.TELEPHONE)
+        loud_b.map()
+        client_b.sync()
+        phone_a.dial("200")
+        loud_a.start_queue()
+        ring = client_b.wait_for_event(
+            lambda e: e.code is EventCode.TELEPHONE_RING, timeout=20)
+        assert ring is not None
+        assert ring.args["caller-id"] == "100"
+        phone_b.answer()
+        loud_b.start_queue()
+        answered = client_a.wait_for_event(
+            lambda e: e.code is EventCode.TELEPHONE_ANSWERED, timeout=20)
+        assert answered is not None
+
+    def test_audio_crosses_workstations(self, two_workstations):
+        server_a, client_a, server_b, client_b = two_workstations
+        # A: player -> telephone; B: telephone -> speaker.
+        loud_a = client_a.create_loud()
+        phone_a = loud_a.create_device(DeviceClass.TELEPHONE)
+        player_a = loud_a.create_device(DeviceClass.PLAYER)
+        loud_a.wire(player_a, 0, phone_a, 1)
+        loud_a.select_events(EventMask.QUEUE | EventMask.TELEPHONE)
+        loud_a.map()
+        loud_b = client_b.create_loud()
+        phone_b = loud_b.create_device(DeviceClass.TELEPHONE)
+        output_b = loud_b.create_device(DeviceClass.OUTPUT)
+        loud_b.wire(phone_b, 0, output_b, 0)
+        loud_b.select_events(EventMask.QUEUE | EventMask.TELEPHONE)
+        loud_b.map()
+        client_b.sync()
+        phone_a.dial("200")
+        loud_a.start_queue()
+        assert client_b.wait_for_event(
+            lambda e: e.code is EventCode.TELEPHONE_RING, timeout=20)
+        phone_b.answer()
+        loud_b.start_queue()
+        assert client_a.wait_for_event(
+            lambda e: e.code is EventCode.TELEPHONE_ANSWERED, timeout=20)
+        tone = tones.sine(440.0, 2.0, RATE)
+        sound = client_a.sound_from_samples(tone, PCM16_8K)
+        player_a.play(sound)
+        assert client_a.wait_for_event(
+            lambda e: e.code is EventCode.QUEUE_EMPTY, timeout=30)
+
+        def b_heard_tone():
+            from repro.dsp.goertzel import goertzel_power
+
+            heard = server_b.hub.speakers[0].capture.samples()
+            return goertzel_power(heard, 440.0, RATE) > 1e4
+
+        assert wait_for(b_heard_tone, timeout=10)
+
+    def test_busy_across_workstations(self, two_workstations):
+        server_a, client_a, server_b, client_b = two_workstations
+        from repro.protocol.types import CallProgress
+
+        # B's line goes off hook locally.
+        loud_b = client_b.create_loud()
+        phone_b = loud_b.create_device(DeviceClass.TELEPHONE)
+        loud_b.select_events(EventMask.QUEUE | EventMask.TELEPHONE)
+        loud_b.map()
+        phone_b.answer()
+        loud_b.start_queue()
+        client_b.sync()
+        loud_a = client_a.create_loud()
+        phone_a = loud_a.create_device(DeviceClass.TELEPHONE)
+        loud_a.select_events(EventMask.QUEUE | EventMask.TELEPHONE)
+        loud_a.map()
+        phone_a.dial("200")
+        loud_a.start_queue()
+        event = client_a.wait_for_event(
+            lambda e: (e.code is EventCode.CALL_PROGRESS
+                       and e.detail in (int(CallProgress.BUSY),
+                                        int(CallProgress.FAILED))),
+            timeout=20)
+        assert event is not None
+        assert event.detail == int(CallProgress.BUSY)

@@ -1,0 +1,170 @@
+"""Unit tests for the G.711 / PCM / ADPCM codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import encodings
+from repro.dsp.adpcm import adpcm_decode, adpcm_encode, frames_in
+from repro.protocol.types import (
+    ADPCM_8K, ALAW_8K, MULAW_8K, PCM16_8K, Encoding, SoundType,
+)
+
+
+def _ramp(count=2048, peak=30000):
+    return np.linspace(-peak, peak, count).astype(np.int16)
+
+
+class TestMulaw:
+    def test_roundtrip_is_close(self):
+        samples = _ramp()
+        decoded = encodings.mulaw_decode(encodings.mulaw_encode(samples))
+        assert len(decoded) == len(samples)
+        # mu-law is logarithmic: error proportional to magnitude, and
+        # bounded in absolute terms near zero.
+        error = np.abs(decoded.astype(np.int32) - samples.astype(np.int32))
+        tolerance = np.maximum(np.abs(samples.astype(np.int32)) // 16, 40)
+        assert np.all(error <= tolerance)
+
+    def test_zero_encodes_quietly(self):
+        decoded = encodings.mulaw_decode(
+            encodings.mulaw_encode(np.zeros(10, dtype=np.int16)))
+        assert np.all(np.abs(decoded) <= 8)
+
+    def test_known_values(self):
+        # Full positive scale encodes to 0x80, full negative to 0x00
+        # (after the G.711 complement).
+        data = encodings.mulaw_encode(np.array([32767, -32768], dtype=np.int16))
+        assert data[0] == 0x80
+        assert data[1] == 0x00
+
+    def test_sign_symmetry(self):
+        samples = np.array([1000, -1000, 20000, -20000], dtype=np.int16)
+        decoded = encodings.mulaw_decode(encodings.mulaw_encode(samples))
+        assert decoded[0] == -decoded[1]
+        assert decoded[2] == -decoded[3]
+
+    @given(st.lists(st.integers(-32768, 32767), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        samples = np.array(values, dtype=np.int16)
+        decoded = encodings.mulaw_decode(encodings.mulaw_encode(samples))
+        error = np.abs(decoded.astype(np.int32) - samples.astype(np.int32))
+        tolerance = np.maximum(np.abs(samples.astype(np.int32)) // 16, 40)
+        assert np.all(error <= tolerance)
+
+    def test_idempotent_through_code_space(self):
+        # Decoding then re-encoding every code byte must reproduce the
+        # same reconstruction level; codes 0x7F and 0xFF are mu-law's
+        # negative and positive zero, so compare decoded values.
+        codes = bytes(range(256))
+        decoded = encodings.mulaw_decode(codes)
+        recoded = encodings.mulaw_encode(decoded)
+        redecoded = encodings.mulaw_decode(recoded)
+        assert np.array_equal(decoded, redecoded)
+
+
+class TestAlaw:
+    def test_roundtrip_is_close(self):
+        samples = _ramp()
+        decoded = encodings.alaw_decode(encodings.alaw_encode(samples))
+        error = np.abs(decoded.astype(np.int32) - samples.astype(np.int32))
+        tolerance = np.maximum(np.abs(samples.astype(np.int32)) // 16, 48)
+        assert np.all(error <= tolerance)
+
+    def test_idempotent_through_code_space(self):
+        codes = bytes(range(256))
+        decoded = encodings.alaw_decode(codes)
+        assert encodings.alaw_encode(decoded) == codes
+
+    @given(st.lists(st.integers(-32768, 32767), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        samples = np.array(values, dtype=np.int16)
+        decoded = encodings.alaw_decode(encodings.alaw_encode(samples))
+        error = np.abs(decoded.astype(np.int32) - samples.astype(np.int32))
+        tolerance = np.maximum(np.abs(samples.astype(np.int32)) // 16, 48)
+        assert np.all(error <= tolerance)
+
+
+class TestPcm16:
+    def test_roundtrip_exact(self):
+        samples = _ramp()
+        decoded = encodings.pcm16_decode(encodings.pcm16_encode(samples))
+        assert np.array_equal(decoded, samples)
+
+    def test_odd_byte_dropped(self):
+        data = encodings.pcm16_encode(np.array([1, 2, 3], dtype=np.int16))
+        decoded = encodings.pcm16_decode(data + b"\x55")
+        assert np.array_equal(decoded, [1, 2, 3])
+
+    def test_little_endian_on_wire(self):
+        data = encodings.pcm16_encode(np.array([0x0102], dtype=np.int16))
+        assert data == b"\x02\x01"
+
+
+class TestAdpcm:
+    def test_roundtrip_tracks_signal(self):
+        rate = 8000
+        times = np.arange(rate) / rate
+        samples = (8000 * np.sin(2 * np.pi * 440 * times)).astype(np.int16)
+        decoded = adpcm_decode(adpcm_encode(samples))
+        assert len(decoded) >= len(samples)
+        # Correlation with the original should be high after the adaptive
+        # step settles.
+        original = samples[200:rate].astype(np.float64)
+        reconstructed = decoded[200:rate].astype(np.float64)
+        correlation = np.corrcoef(original, reconstructed)[0, 1]
+        assert correlation > 0.95
+
+    def test_compression_ratio(self):
+        samples = _ramp(4000)
+        encoded = adpcm_encode(samples)
+        # 4 bits/sample vs 16: about 4x smaller (plus tiny header).
+        assert len(encoded) <= len(samples) * 2 // 4 + 16
+
+    def test_empty(self):
+        assert len(adpcm_decode(adpcm_encode(np.zeros(0, dtype=np.int16)))) == 0
+        assert frames_in(0) == 0
+
+    def test_frames_in(self):
+        samples = np.zeros(100, dtype=np.int16)
+        assert frames_in(len(adpcm_encode(samples))) == 100
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("sound_type", [MULAW_8K, ALAW_8K, PCM16_8K])
+    def test_encode_decode_dispatch(self, sound_type):
+        samples = _ramp(256)
+        decoded = encodings.decode(encodings.encode(samples, sound_type),
+                                   sound_type)
+        assert len(decoded) == len(samples)
+
+    def test_adpcm_dispatch(self):
+        samples = _ramp(256)
+        decoded = encodings.decode(encodings.encode(samples, ADPCM_8K),
+                                   ADPCM_8K)
+        assert len(decoded) >= len(samples)
+
+    def test_analog_rejects(self):
+        analog = SoundType(Encoding.ANALOG, 0, 0)
+        with pytest.raises(ValueError):
+            encodings.encode(np.zeros(4, dtype=np.int16), analog)
+        with pytest.raises(ValueError):
+            encodings.decode(b"", analog)
+
+
+class TestSoundType:
+    def test_rates(self):
+        assert MULAW_8K.bytes_per_second() == 8000
+        from repro.protocol.types import PCM16_CD
+
+        # "just over 175,000 bytes per second" in the paper is stereo;
+        # our mono CD type is half that but still the high-rate extreme.
+        assert PCM16_CD.bytes_per_second() == 88200
+
+    def test_frame_byte_conversions(self):
+        assert MULAW_8K.frames_to_bytes(100) == 100
+        assert PCM16_8K.frames_to_bytes(100) == 200
+        assert ADPCM_8K.bytes_to_frames(50) == 100

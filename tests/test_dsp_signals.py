@@ -1,0 +1,326 @@
+"""Unit tests for tones, Goertzel, DTMF, resampling, mixing, AGC, silence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import tones
+from repro.dsp.agc import AutomaticGainControl
+from repro.dsp.dtmf import (
+    DtmfDetector,
+    digit_frequencies,
+    generate_digit,
+    generate_digits,
+)
+from repro.dsp.goertzel import goertzel_power, goertzel_powers
+from repro.dsp.mixing import apply_gain, mix, peak, rms, saturate
+from repro.dsp.resample import StreamResampler, resample
+from repro.dsp.silence import PauseDetector, compress_pauses, find_speech_runs
+
+RATE = 8000
+
+
+class TestTones:
+    def test_sine_length_and_amplitude(self):
+        wave = tones.sine(440.0, 1.0, RATE, amplitude=1000)
+        assert len(wave) == RATE
+        assert 990 <= np.max(wave) <= 1000
+
+    def test_silence(self):
+        assert np.all(tones.silence(0.5, RATE) == 0)
+        assert len(tones.silence(0.5, RATE)) == RATE // 2
+
+    def test_beep_fades_in_and_out(self):
+        wave = tones.beep(RATE)
+        assert wave[0] == 0
+        assert wave[-1] == 0
+        assert np.max(np.abs(wave)) > 5000
+
+    def test_ringback_cadence(self):
+        wave = tones.ringback_tone(6.0, RATE)
+        on_part = wave[:2 * RATE]
+        off_part = wave[3 * RATE:5 * RATE]
+        assert rms(on_part) > 1000
+        assert rms(off_part) == 0
+
+    def test_busy_cadence(self):
+        wave = tones.busy_tone(1.0, RATE)
+        assert rms(wave[:RATE // 2]) > 1000
+        assert rms(wave[RATE // 2:]) == 0
+
+    def test_noise_deterministic(self):
+        a = tones.white_noise(0.1, RATE, seed=7)
+        b = tones.white_noise(0.1, RATE, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestGoertzel:
+    def test_detects_target_frequency(self):
+        wave = tones.sine(697.0, 0.05, RATE, amplitude=10000)
+        on_target = goertzel_power(wave, 697.0, RATE)
+        off_target = goertzel_power(wave, 1209.0, RATE)
+        assert on_target > 100 * max(off_target, 1e-12)
+
+    def test_silence_has_no_power(self):
+        assert goertzel_power(np.zeros(400, dtype=np.int16), 697.0, RATE) == 0
+
+    def test_batch_matches_single(self):
+        wave = tones.dual_tone(697.0, 1209.0, 0.05, RATE)
+        frequencies = [697.0, 770.0, 1209.0, 1336.0]
+        batch = goertzel_powers(wave, frequencies, RATE)
+        singles = [goertzel_power(wave, f, RATE) for f in frequencies]
+        assert np.allclose(batch, singles, rtol=1e-9)
+
+    def test_empty_block(self):
+        assert goertzel_power(np.zeros(0), 440.0, RATE) == 0.0
+        assert goertzel_powers(np.zeros(0), [440.0], RATE) == [0.0]
+
+
+class TestDtmf:
+    @pytest.mark.parametrize("digit", list("0123456789*#ABCD"))
+    def test_each_digit_detected(self, digit):
+        detector = DtmfDetector(RATE)
+        wave = generate_digit(digit, RATE, duration=0.1)
+        assert detector.feed(wave) == [digit]
+
+    def test_digit_string(self):
+        detector = DtmfDetector(RATE)
+        wave = generate_digits("555*0199#", RATE)
+        collected = detector.feed(wave)
+        assert "".join(collected) == "555*0199#"
+
+    def test_repeated_digit_needs_gap(self):
+        detector = DtmfDetector(RATE)
+        wave = generate_digits("77", RATE)
+        assert detector.feed(wave) == ["7", "7"]
+
+    def test_held_digit_reported_once(self):
+        detector = DtmfDetector(RATE)
+        wave = generate_digit("5", RATE, duration=0.5)
+        assert detector.feed(wave) == ["5"]
+
+    def test_speech_not_detected(self):
+        detector = DtmfDetector(RATE)
+        noise = tones.white_noise(0.5, RATE, amplitude=8000, seed=3)
+        assert detector.feed(noise) == []
+
+    def test_streaming_across_blocks(self):
+        detector = DtmfDetector(RATE)
+        wave = generate_digits("42", RATE)
+        collected = []
+        for start in range(0, len(wave), 80):
+            collected.extend(detector.feed(wave[start:start + 80]))
+        assert collected == ["4", "2"]
+
+    def test_bad_digit_rejected(self):
+        with pytest.raises(ValueError):
+            digit_frequencies("X")
+
+    def test_frequencies_standard(self):
+        assert digit_frequencies("1") == (697.0, 1209.0)
+        assert digit_frequencies("#") == (941.0, 1477.0)
+
+
+class TestResample:
+    def test_identity(self):
+        wave = tones.sine(440.0, 0.1, RATE)
+        assert np.array_equal(resample(wave, RATE, RATE), wave)
+
+    def test_upsample_length(self):
+        wave = tones.sine(440.0, 0.5, 8000)
+        up = resample(wave, 8000, 44100)
+        assert abs(len(up) - 22050) <= 1
+
+    def test_downsample_preserves_tone(self):
+        wave = tones.sine(440.0, 0.5, 44100)
+        down = resample(wave, 44100, 8000)
+        power = goertzel_power(down, 440.0, 8000)
+        assert power > 1e5
+
+    def test_empty(self):
+        assert len(resample(np.zeros(0, dtype=np.int16), 8000, 44100)) == 0
+
+    def test_bad_rates(self):
+        with pytest.raises(ValueError):
+            resample(np.zeros(4, dtype=np.int16), 0, 8000)
+
+    def test_stream_matches_oneshot_duration(self):
+        wave = tones.sine(440.0, 1.0, 8000)
+        streamer = StreamResampler(8000, 44100)
+        pieces = [streamer.process(wave[start:start + 160])
+                  for start in range(0, len(wave), 160)]
+        total = sum(len(piece) for piece in pieces)
+        # The streaming version may hold back a tail, but stays within a
+        # couple of blocks of the one-shot output length.
+        oneshot = len(resample(wave, 8000, 44100))
+        assert oneshot - 1200 <= total <= oneshot
+
+    def test_stream_output_is_continuous(self):
+        wave = tones.sine(200.0, 0.5, 8000)
+        streamer = StreamResampler(8000, 16000)
+        output = np.concatenate(
+            [streamer.process(wave[start:start + 160])
+             for start in range(0, len(wave), 160)])
+        # No block-boundary clicks: max jump bounded by the tone's slope.
+        jumps = np.abs(np.diff(output.astype(np.int32)))
+        assert np.max(jumps) < 2000
+
+
+class TestMixing:
+    def test_mix_sums(self):
+        a = np.array([100, 200], dtype=np.int16)
+        b = np.array([10, 20], dtype=np.int16)
+        assert np.array_equal(mix([a, b]), [110, 220])
+
+    def test_mix_saturates(self):
+        a = np.array([30000], dtype=np.int16)
+        assert mix([a, a])[0] == 32767
+        neg = np.array([-30000], dtype=np.int16)
+        assert mix([neg, neg])[0] == -32768
+
+    def test_mix_pads_short_blocks(self):
+        a = np.array([1, 1, 1, 1], dtype=np.int16)
+        b = np.array([1], dtype=np.int16)
+        assert np.array_equal(mix([a, b]), [2, 1, 1, 1])
+
+    def test_mix_with_gains(self):
+        a = np.array([1000], dtype=np.int16)
+        b = np.array([1000], dtype=np.int16)
+        assert mix([a, b], gains=[0.5, 0.25])[0] == 750
+
+    def test_mix_empty(self):
+        assert len(mix([])) == 0
+
+    def test_apply_gain_unity_is_noop(self):
+        wave = tones.sine(440.0, 0.01, RATE)
+        assert apply_gain(wave, 1.0) is not None
+        assert np.array_equal(apply_gain(wave, 1.0), wave)
+
+    def test_apply_gain_scales(self):
+        wave = np.array([1000, -1000], dtype=np.int16)
+        assert np.array_equal(apply_gain(wave, 0.5), [500, -500])
+
+    def test_levels(self):
+        wave = np.array([3, -4], dtype=np.int16)
+        assert peak(wave) == 4
+        assert rms(wave) == pytest.approx(np.sqrt(12.5))
+        assert rms(np.zeros(0)) == 0.0
+        assert peak(np.zeros(0)) == 0
+
+    @given(st.lists(st.integers(-32768, 32767), min_size=1, max_size=64),
+           st.lists(st.integers(-32768, 32767), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_mix_commutes(self, left, right):
+        a = np.array(left, dtype=np.int16)
+        b = np.array(right, dtype=np.int16)
+        assert np.array_equal(mix([a, b]), mix([b, a]))
+
+    @given(st.lists(st.integers(-32768, 32767), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_mix_with_silence_is_identity(self, values):
+        a = np.array(values, dtype=np.int16)
+        silence = np.zeros(len(a), dtype=np.int16)
+        assert np.array_equal(mix([a, silence]), a)
+
+    def test_saturate_bounds(self):
+        wide = np.array([100000, -100000, 5], dtype=np.int64)
+        assert np.array_equal(saturate(wide), [32767, -32768, 5])
+
+
+class TestAgc:
+    def test_boosts_quiet_signal(self):
+        agc = AutomaticGainControl(RATE, target_rms=8000.0)
+        quiet = tones.sine(440.0, 0.02, RATE, amplitude=500)
+        for _ in range(50):
+            output = agc.process(quiet)
+        assert rms(output) > 4 * rms(quiet)
+
+    def test_attenuates_loud_signal(self):
+        agc = AutomaticGainControl(RATE, target_rms=4000.0)
+        loud = tones.sine(440.0, 0.02, RATE, amplitude=30000)
+        for _ in range(50):
+            output = agc.process(loud)
+        assert rms(output) < rms(loud)
+
+    def test_holds_gain_in_silence(self):
+        agc = AutomaticGainControl(RATE)
+        quiet = tones.sine(440.0, 0.02, RATE, amplitude=500)
+        for _ in range(50):
+            agc.process(quiet)
+        gain_before = agc.gain
+        for _ in range(50):
+            agc.process(np.zeros(160, dtype=np.int16))
+        assert agc.gain == pytest.approx(gain_before)
+
+    def test_gain_ceiling(self):
+        agc = AutomaticGainControl(RATE, max_gain=4.0)
+        whisper = tones.sine(440.0, 0.02, RATE, amplitude=200)
+        for _ in range(200):
+            agc.process(whisper)
+        assert agc.gain <= 4.0
+
+    def test_reset(self):
+        agc = AutomaticGainControl(RATE)
+        agc.process(tones.sine(440.0, 0.02, RATE, amplitude=100))
+        agc.reset()
+        assert agc.gain == 1.0
+
+    def test_empty_block(self):
+        agc = AutomaticGainControl(RATE)
+        assert len(agc.process(np.zeros(0, dtype=np.int16))) == 0
+
+
+class TestSilence:
+    def _speech_then_silence(self, speech_s=1.0, silence_s=3.0):
+        speech = tones.white_noise(speech_s, RATE, amplitude=5000, seed=1)
+        quiet = tones.silence(silence_s, RATE)
+        return np.concatenate([speech, quiet])
+
+    def test_pause_detector_triggers_after_pause(self):
+        detector = PauseDetector(RATE, pause_seconds=2.0)
+        wave = self._speech_then_silence()
+        triggered_at = None
+        for start in range(0, len(wave), 160):
+            if detector.feed(wave[start:start + 160]):
+                triggered_at = start
+                break
+        assert triggered_at is not None
+        # Roughly speech (1 s) + pause (2 s) in samples.
+        assert abs(triggered_at - 3 * RATE) < RATE // 2
+
+    def test_pause_detector_ignores_leading_silence(self):
+        detector = PauseDetector(RATE, pause_seconds=1.0)
+        quiet = tones.silence(5.0, RATE)
+        for start in range(0, len(quiet), 160):
+            assert not detector.feed(quiet[start:start + 160])
+
+    def test_pause_detector_reset(self):
+        detector = PauseDetector(RATE, pause_seconds=0.5)
+        wave = self._speech_then_silence(0.2, 1.0)
+        for start in range(0, len(wave), 160):
+            detector.feed(wave[start:start + 160])
+        detector.reset()
+        assert not detector.feed(tones.silence(1.0, RATE))
+
+    def test_find_speech_runs(self):
+        speech = tones.white_noise(0.5, RATE, amplitude=5000, seed=2)
+        gap = tones.silence(1.0, RATE)
+        wave = np.concatenate([gap, speech, gap, speech, gap])
+        runs = find_speech_runs(wave, RATE)
+        assert len(runs) == 2
+        first_start, first_end = runs[0]
+        assert abs(first_start - RATE) < RATE // 4
+        assert abs(first_end - int(1.5 * RATE)) < RATE // 4
+
+    def test_compress_pauses_shortens(self):
+        speech = tones.white_noise(0.5, RATE, amplitude=5000, seed=2)
+        gap = tones.silence(2.0, RATE)
+        wave = np.concatenate([speech, gap, speech])
+        compressed = compress_pauses(wave, RATE, keep_ms=200)
+        # Two speech runs plus at most ~200 ms of gap survive.
+        assert len(compressed) < len(wave) - RATE
+        assert len(compressed) >= RATE  # both speech runs kept
+
+    def test_compress_all_silence(self):
+        assert len(compress_pauses(tones.silence(1.0, RATE), RATE)) == 0

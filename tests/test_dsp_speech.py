@@ -1,0 +1,368 @@
+"""Unit tests for TTS, speech recognition, music synthesis and .au files."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import tones
+from repro.dsp.aufile import AuFileError, read_au, write_au
+from repro.dsp.mixing import rms
+from repro.dsp.music import (
+    Adsr,
+    MusicSynthesizer,
+    Voice,
+    note_frequency,
+    note_number,
+)
+from repro.dsp.phonemes import PHONEMES, text_to_phonemes, word_to_phonemes
+from repro.dsp.recognition import (
+    Recognizer,
+    UtteranceDetector,
+    dtw_distance,
+    extract_features,
+)
+from repro.dsp.synthesis import FormantSynthesizer, VoiceParameters
+
+RATE = 8000
+
+
+class TestPhonemes:
+    def test_inventory_is_consistent(self):
+        for symbol, phoneme in PHONEMES.items():
+            assert phoneme.symbol == symbol
+            assert phoneme.duration > 0
+            if phoneme.kind == "vowel":
+                assert len(phoneme.formants) == 3
+
+    def test_simple_words(self):
+        assert word_to_phonemes("see") == ["S", "IY"]
+        assert word_to_phonemes("she") == ["SH", "EH"]
+        assert "NG" in word_to_phonemes("ring")
+
+    def test_silent_final_e(self):
+        assert word_to_phonemes("tone")[-1] != "EH"
+
+    def test_text_with_digits(self):
+        phonemes = text_to_phonemes("dial 9")
+        # "nine" must appear after "dial".
+        assert "N" in phonemes and "AY" in phonemes
+
+    def test_punctuation_becomes_pause(self):
+        phonemes = text_to_phonemes("stop. go")
+        assert "LONG_PAUSE" in phonemes
+
+    def test_exception_list_overrides(self):
+        phonemes = text_to_phonemes(
+            "DEC", exceptions={"dec": ["D", "EH", "K"]})
+        assert phonemes[:3] == ["D", "EH", "K"]
+
+    def test_no_trailing_pause(self):
+        phonemes = text_to_phonemes("hello world.")
+        assert phonemes[-1] not in ("PAUSE", "LONG_PAUSE")
+
+    def test_empty_text(self):
+        assert text_to_phonemes("") == []
+        assert text_to_phonemes("   ...   ") == []
+
+
+class TestSynthesis:
+    def test_produces_audio(self):
+        synth = FormantSynthesizer(RATE)
+        wave = synth.synthesize_text("hello")
+        assert len(wave) > RATE // 10
+        assert rms(wave) > 500
+
+    def test_longer_text_longer_audio(self):
+        synth = FormantSynthesizer(RATE)
+        short = synth.synthesize_text("hi")
+        long = synth.synthesize_text("good morning answering machine")
+        assert len(long) > 2 * len(short)
+
+    def test_rate_parameter_shortens(self):
+        slow = FormantSynthesizer(
+            RATE, VoiceParameters(rate=0.5)).synthesize_text("testing")
+        fast = FormantSynthesizer(
+            RATE, VoiceParameters(rate=2.0)).synthesize_text("testing")
+        assert len(slow) > 2 * len(fast)
+
+    def test_pitch_moves_spectrum(self):
+        from repro.dsp.goertzel import goertzel_power
+
+        low = FormantSynthesizer(
+            RATE, VoiceParameters(pitch=100.0)).synthesize_phonemes(["AA"])
+        high = FormantSynthesizer(
+            RATE, VoiceParameters(pitch=200.0)).synthesize_phonemes(["AA"])
+        assert (goertzel_power(high, 200.0, RATE)
+                > goertzel_power(low, 200.0, RATE))
+
+    def test_different_words_differ(self):
+        synth = FormantSynthesizer(RATE)
+        a = synth.synthesize_text("see")
+        b = synth.synthesize_text("saw")
+        size = min(len(a), len(b))
+        assert not np.array_equal(a[:size], b[:size])
+
+    def test_unknown_phoneme_rejected(self):
+        synth = FormantSynthesizer(RATE)
+        with pytest.raises(ValueError):
+            synth.synthesize_phonemes(["QQ"])
+
+    def test_exception_registration_validates(self):
+        synth = FormantSynthesizer(RATE)
+        with pytest.raises(ValueError):
+            synth.set_exception("unix", ["YU", "NIX"])
+        synth.set_exception("unix", ["Y", "UW", "N", "IH", "K", "S"])
+        assert synth.exceptions["unix"] == ["Y", "UW", "N", "IH", "K", "S"]
+
+    def test_language_validation(self):
+        synth = FormantSynthesizer(RATE)
+        synth.set_language("English")
+        with pytest.raises(ValueError):
+            synth.set_language("latin")
+
+    def test_empty_text_empty_audio(self):
+        assert len(FormantSynthesizer(RATE).synthesize_text("")) == 0
+
+    def test_pause_is_silence(self):
+        wave = FormantSynthesizer(RATE).synthesize_phonemes(["LONG_PAUSE"])
+        assert np.all(wave == 0)
+
+
+def _word(synth, text):
+    """Synthesize a word bracketed by silence, as spoken audio."""
+    wave = synth.synthesize_text(text)
+    pad = tones.silence(0.1, RATE)
+    return np.concatenate([pad, wave, pad])
+
+
+class TestRecognition:
+    def test_features_shape(self):
+        wave = tones.white_noise(0.5, RATE, amplitude=5000)
+        features = extract_features(wave, RATE)
+        assert features.shape[0] == len(wave) // (RATE * 20 // 1000)
+        assert features.shape[1] == 12
+
+    def test_dtw_identity_is_zero(self):
+        features = extract_features(
+            tones.white_noise(0.3, RATE, amplitude=5000, seed=4), RATE)
+        assert dtw_distance(features, features) == pytest.approx(0.0)
+
+    def test_dtw_empty_is_infinite(self):
+        features = np.zeros((4, 12))
+        assert dtw_distance(features, np.zeros((0, 12))) == float("inf")
+
+    def test_recognizes_trained_words(self):
+        synth = FormantSynthesizer(RATE)
+        recognizer = Recognizer(RATE)
+        for word in ("yes", "no", "stop"):
+            recognizer.train(word, _word(synth, word))
+        for word in ("yes", "no", "stop"):
+            result = recognizer.recognize(_word(synth, word))
+            assert result is not None
+            assert result.word == word
+
+    def test_distinguishes_speakers_tolerance(self):
+        # Train at one pitch, recognize at another: mean-normalized
+        # filterbank features should still match the right word.
+        trainer = FormantSynthesizer(RATE, VoiceParameters(pitch=110.0))
+        speaker = FormantSynthesizer(RATE, VoiceParameters(pitch=130.0))
+        recognizer = Recognizer(RATE)
+        recognizer.train("open", _word(trainer, "open"))
+        recognizer.train("close", _word(trainer, "close"))
+        result = recognizer.recognize(_word(speaker, "open"))
+        assert result is not None and result.word == "open"
+
+    def test_rejection_threshold(self):
+        synth = FormantSynthesizer(RATE)
+        recognizer = Recognizer(RATE, rejection_threshold=0.01)
+        recognizer.train("word", _word(synth, "word"))
+        noise = tones.white_noise(0.4, RATE, amplitude=5000, seed=9)
+        assert recognizer.recognize(noise) is None
+
+    def test_set_vocabulary_restricts(self):
+        synth = FormantSynthesizer(RATE)
+        recognizer = Recognizer(RATE)
+        recognizer.train("alpha", _word(synth, "alpha"))
+        recognizer.train("beta", _word(synth, "beta"))
+        recognizer.set_vocabulary(["beta"])
+        result = recognizer.recognize(_word(synth, "alpha"))
+        assert result is None or result.word == "beta"
+
+    def test_set_vocabulary_unknown_word(self):
+        recognizer = Recognizer(RATE)
+        with pytest.raises(ValueError):
+            recognizer.set_vocabulary(["ghost"])
+
+    def test_save_and_load_vocabulary(self):
+        synth = FormantSynthesizer(RATE)
+        recognizer = Recognizer(RATE)
+        recognizer.train("save", _word(synth, "save"))
+        snapshot = recognizer.save_vocabulary()
+        restored = Recognizer.load_vocabulary(snapshot)
+        result = restored.recognize(_word(synth, "save"))
+        assert result is not None and result.word == "save"
+
+    def test_adjust_context_validation(self):
+        recognizer = Recognizer(RATE)
+        with pytest.raises(ValueError):
+            recognizer.adjust_context(rejection_threshold=-1.0)
+        with pytest.raises(ValueError):
+            recognizer.adjust_context(band=0)
+        recognizer.adjust_context(rejection_threshold=2.0, band=5)
+        assert recognizer.rejection_threshold == 2.0
+        assert recognizer.band == 5
+
+    def test_train_too_short(self):
+        recognizer = Recognizer(RATE)
+        with pytest.raises(ValueError):
+            recognizer.train("x", np.zeros(10, dtype=np.int16))
+
+
+class TestUtteranceDetector:
+    def test_detects_bounded_utterance(self):
+        detector = UtteranceDetector(RATE)
+        speech = tones.white_noise(0.4, RATE, amplitude=5000, seed=5)
+        stream = np.concatenate([
+            tones.silence(0.3, RATE), speech, tones.silence(0.5, RATE)])
+        utterances = []
+        for start in range(0, len(stream), 160):
+            result = detector.feed(stream[start:start + 160])
+            if result is not None:
+                utterances.append(result)
+        assert len(utterances) == 1
+        assert len(utterances[0]) >= len(speech)
+
+    def test_click_rejected(self):
+        detector = UtteranceDetector(RATE, min_speech_ms=120)
+        click = tones.white_noise(0.03, RATE, amplitude=8000, seed=6)
+        stream = np.concatenate([click, tones.silence(0.5, RATE)])
+        results = [detector.feed(stream[start:start + 160])
+                   for start in range(0, len(stream), 160)]
+        assert all(result is None for result in results)
+
+    def test_max_utterance_forces_end(self):
+        detector = UtteranceDetector(RATE, max_utterance_ms=500)
+        long_speech = tones.white_noise(2.0, RATE, amplitude=5000, seed=7)
+        got = None
+        for start in range(0, len(long_speech), 160):
+            result = detector.feed(long_speech[start:start + 160])
+            if result is not None:
+                got = result
+                break
+        assert got is not None
+        assert len(got) <= int(0.6 * RATE)
+
+
+class TestMusic:
+    def test_note_frequency(self):
+        assert note_frequency(69) == pytest.approx(440.0)
+        assert note_frequency(57) == pytest.approx(220.0)
+
+    def test_note_names(self):
+        assert note_number("A4") == 69
+        assert note_number("C4") == 60
+        assert note_number("C#4") == 61
+        assert note_number("Bb3") == 58
+        with pytest.raises(ValueError):
+            note_number("H2")
+        with pytest.raises(ValueError):
+            note_number("C")
+
+    def test_render_note_has_pitch(self):
+        from repro.dsp.goertzel import goertzel_power
+
+        synth = MusicSynthesizer(RATE)
+        wave = synth.render_note("A4", beats=1.0)
+        assert goertzel_power(wave, 440.0, RATE) > goertzel_power(
+            wave, 600.0, RATE) * 50
+
+    def test_tempo_controls_length(self):
+        synth = MusicSynthesizer(RATE)
+        synth.set_state(tempo_bpm=60.0)
+        slow = synth.render_note("C4")
+        synth.set_state(tempo_bpm=240.0)
+        fast = synth.render_note("C4")
+        assert len(slow) > 2 * len(fast)
+
+    def test_set_voice(self):
+        synth = MusicSynthesizer(RATE)
+        synth.set_voice(waveform="square", volume=0.9, attack=0.001)
+        assert synth.voice.waveform == "square"
+        assert synth.voice.envelope.attack == 0.001
+        with pytest.raises(ValueError):
+            synth.set_voice(waveform="noise")
+        with pytest.raises(ValueError):
+            synth.set_voice(nonsense=1)
+
+    def test_melody_and_rests(self):
+        synth = MusicSynthesizer(RATE)
+        melody = synth.render_melody([("C4", 0.5), (None, 0.5), ("E4", 0.5)])
+        assert len(melody) > 0
+        assert len(synth.render_melody([])) == 0
+
+    def test_envelope_shape(self):
+        envelope = Adsr(attack=0.1, decay=0.1, sustain=0.5,
+                        release=0.1).render(1.0, RATE)
+        assert envelope[0] == pytest.approx(0.0)
+        assert envelope[-1] == pytest.approx(0.0, abs=1e-6)
+        assert np.max(envelope) <= 1.0
+
+    def test_voice_validation(self):
+        with pytest.raises(ValueError):
+            Voice(waveform="harp")
+
+    def test_set_state_validation(self):
+        with pytest.raises(ValueError):
+            MusicSynthesizer(RATE).set_state(tempo_bpm=0)
+
+
+class TestAuFile:
+    def test_roundtrip_mulaw(self, tmp_path):
+        from repro.dsp.encodings import mulaw_encode
+        from repro.protocol.types import MULAW_8K
+
+        data = mulaw_encode(tones.sine(440.0, 0.2, RATE))
+        path = tmp_path / "test.au"
+        write_au(path, data, MULAW_8K, annotation="greeting")
+        back, sound_type, annotation = read_au(path)
+        assert back == data
+        assert sound_type == MULAW_8K
+        assert annotation == "greeting"
+
+    def test_roundtrip_pcm16(self, tmp_path):
+        from repro.dsp.encodings import pcm16_encode
+        from repro.protocol.types import PCM16_8K
+
+        data = pcm16_encode(tones.sine(440.0, 0.1, RATE))
+        path = tmp_path / "test.au"
+        write_au(path, data, PCM16_8K)
+        back, sound_type, _ = read_au(path)
+        assert back == data
+        assert sound_type == PCM16_8K
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.au"
+        path.write_bytes(b"not an au file at all.....")
+        with pytest.raises(AuFileError):
+            read_au(path)
+
+    def test_rejects_short_file(self, tmp_path):
+        path = tmp_path / "tiny.au"
+        path.write_bytes(b"\x2e")
+        with pytest.raises(AuFileError):
+            read_au(path)
+
+    def test_adpcm_not_storable(self, tmp_path):
+        from repro.protocol.types import ADPCM_8K
+
+        with pytest.raises(AuFileError):
+            write_au(tmp_path / "x.au", b"", ADPCM_8K)
+
+    def test_big_endian_pcm_in_file(self, tmp_path):
+        from repro.dsp.encodings import pcm16_encode
+        from repro.protocol.types import PCM16_8K
+
+        data = pcm16_encode(np.array([0x0102], dtype=np.int16))
+        path = tmp_path / "endian.au"
+        write_au(path, data, PCM16_8K)
+        raw = path.read_bytes()
+        assert raw[-2:] == b"\x01\x02"  # big-endian in the file

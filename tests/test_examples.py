@@ -1,0 +1,39 @@
+"""Every example script must run to completion, as a subprocess.
+
+The examples are the public face of the reproduction (and the F-row
+evidence in EXPERIMENTS.md); this keeps them from rotting.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("answering_machine.py", []),
+    ("voice_mail.py", []),
+    ("dial_by_name.py", []),
+    ("soundviewer_demo.py", ["--fast"]),
+    ("multimedia_sync.py", []),
+    ("remote_access.py", []),
+    ("call_preemption.py", []),
+    ("intercom.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args",
+                         EXAMPLES, ids=[name for name, _ in EXAMPLES])
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, (
+        "%s failed\nstdout:\n%s\nstderr:\n%s"
+        % (script, result.stdout[-3000:], result.stderr[-3000:]))
+    assert "done." in result.stdout

@@ -1,0 +1,151 @@
+"""Tests for audio-manager redirection and policy."""
+
+import pytest
+
+from repro.manager import AudioManager, Policy, TelephonePriorityPolicy
+from repro.protocol.types import (
+    DeviceClass,
+    ErrorCode,
+    EventCode,
+    EventMask,
+    StackPosition,
+)
+
+from conftest import wait_for
+
+
+class TestRedirection:
+    def test_map_redirected_to_manager(self, server, client, second_client):
+        second_client.set_redirect(True)
+        second_client.sync()
+        loud = client.create_loud()
+        loud.create_device(DeviceClass.OUTPUT)
+        loud.map()
+        client.sync()
+        # The map did NOT happen; the manager got the request.
+        assert not loud.query().mapped
+        event = second_client.wait_for_event(
+            lambda e: e.code is EventCode.MAP_REQUEST, timeout=10)
+        assert event is not None
+        assert event.resource == loud.loud_id
+
+    def test_manager_allows_map(self, server, client, second_client):
+        second_client.set_redirect(True)
+        second_client.sync()
+        loud = client.create_loud()
+        loud.create_device(DeviceClass.OUTPUT)
+        loud.map()
+        event = second_client.wait_for_event(
+            lambda e: e.code is EventCode.MAP_REQUEST, timeout=10)
+        second_client.allow_map(event.resource)
+        second_client.sync()
+        assert wait_for(lambda: loud.query().mapped)
+
+    def test_manager_denies_map(self, server, client, second_client):
+        second_client.set_redirect(True)
+        second_client.sync()
+        loud = client.create_loud()
+        loud.create_device(DeviceClass.OUTPUT)
+        loud.map()
+        event = second_client.wait_for_event(
+            lambda e: e.code is EventCode.MAP_REQUEST, timeout=10)
+        second_client.allow_map(event.resource, honor=False)
+        second_client.sync()
+        assert not loud.query().mapped
+
+    def test_managers_own_maps_not_redirected(self, server, second_client):
+        second_client.set_redirect(True)
+        loud = second_client.create_loud()
+        loud.create_device(DeviceClass.OUTPUT)
+        loud.map()
+        second_client.sync()
+        assert loud.query().mapped
+
+    def test_only_one_manager(self, server, client, second_client):
+        second_client.set_redirect(True)
+        second_client.sync()
+        client.set_redirect(True)
+        client.sync()
+        assert any(error.code is ErrorCode.BAD_ACCESS
+                   for error in client.conn.errors)
+
+    def test_non_manager_cannot_allow(self, server, client):
+        loud = client.create_loud()
+        client.allow_map(loud.loud_id)
+        client.sync()
+        assert any(error.code is ErrorCode.BAD_ACCESS
+                   for error in client.conn.errors)
+
+    def test_restack_redirected(self, server, client, second_client):
+        # Map before the manager arrives, restack after.
+        loud = client.create_loud()
+        loud.create_device(DeviceClass.OUTPUT)
+        loud.map()
+        client.sync()
+        second_client.set_redirect(True)
+        second_client.sync()
+        loud.lower_to_bottom()
+        event = second_client.wait_for_event(
+            lambda e: e.code is EventCode.RESTACK_REQUEST, timeout=10)
+        assert event is not None
+        assert event.args["position"] == int(StackPosition.BOTTOM)
+
+    def test_redirect_released(self, server, client, second_client):
+        second_client.set_redirect(True)
+        second_client.sync()
+        second_client.set_redirect(False)
+        second_client.sync()
+        loud = client.create_loud()
+        loud.create_device(DeviceClass.OUTPUT)
+        loud.map()
+        assert loud.query().mapped    # default behaviour restored
+
+
+class TestAudioManagerClass:
+    def test_default_policy_honors_everything(self, server, client,
+                                              second_client):
+        manager = AudioManager(second_client)
+        try:
+            loud = client.create_loud()
+            loud.create_device(DeviceClass.OUTPUT)
+            loud.map()
+            assert manager.run_once(timeout=10)
+            assert wait_for(lambda: loud.query().mapped)
+            assert manager.handled == 1
+        finally:
+            manager.stop()
+
+    def test_background_thread_mode(self, server, client, second_client):
+        manager = AudioManager(second_client)
+        manager.start()
+        try:
+            loud = client.create_loud()
+            loud.create_device(DeviceClass.OUTPUT)
+            loud.map()
+            assert wait_for(lambda: loud.query().mapped)
+        finally:
+            manager.stop()
+
+    def test_telephone_priority_policy(self, server, client, second_client,
+                                       make_client):
+        manager = AudioManager(second_client, TelephonePriorityPolicy())
+        manager.start()
+        try:
+            # A telephone application maps first (declares its domain).
+            phone_client = make_client("phone-app")
+            phone_loud = phone_client.create_loud()
+            phone_loud.create_device(DeviceClass.TELEPHONE)
+            phone_loud.set_property("DOMAIN", "telephone")
+            phone_client.sync()
+            phone_loud.map()
+            assert wait_for(lambda: phone_loud.query().mapped)
+            # A desktop app maps afterwards: it goes to the BOTTOM.
+            desk_loud = client.create_loud()
+            desk_loud.create_device(DeviceClass.OUTPUT)
+            desk_loud.map()
+            assert wait_for(lambda: desk_loud.query().mapped)
+            assert wait_for(
+                lambda: desk_loud.query().stack_index == 1)
+            assert phone_loud.query().stack_index == 0
+        finally:
+            manager.stop()

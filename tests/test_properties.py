@@ -1,0 +1,131 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import encodings, tones
+from repro.dsp.aufile import read_au, write_au
+from repro.dsp.dtmf import DtmfDetector, generate_digits
+from repro.dsp.mixing import mix, saturate
+from repro.dsp.resample import StreamResampler, resample
+from repro.protocol.types import ALAW_8K, MULAW_8K, PCM16_8K
+
+RATE = 8000
+
+
+class TestResamplerProperties:
+    @given(st.integers(4000, 48000), st.integers(4000, 48000),
+           st.integers(1, 4000))
+    @settings(max_examples=60, deadline=None)
+    def test_oneshot_duration_preserved(self, from_rate, to_rate, length):
+        samples = np.zeros(length, dtype=np.int16)
+        out = resample(samples, from_rate, to_rate)
+        expected = round(length * to_rate / from_rate)
+        assert abs(len(out) - expected) <= 1
+
+    @given(st.integers(4000, 48000), st.integers(4000, 48000),
+           st.lists(st.integers(1, 500), min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_never_overproduces(self, from_rate, to_rate,
+                                          block_sizes):
+        streamer = StreamResampler(from_rate, to_rate)
+        total_in = 0
+        total_out = 0
+        for size in block_sizes:
+            block = np.zeros(size, dtype=np.int16)
+            total_in += size
+            total_out += len(streamer.process(block))
+        upper = round(total_in * to_rate / from_rate) + 1
+        assert total_out <= upper
+
+    @given(st.lists(st.integers(-32768, 32767), min_size=16,
+                    max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_identity_rate_streaming_is_exact(self, values):
+        samples = np.array(values, dtype=np.int16)
+        streamer = StreamResampler(RATE, RATE)
+        out = np.concatenate([
+            streamer.process(samples[start:start + 37])
+            for start in range(0, len(samples), 37)])
+        assert np.array_equal(out, samples)
+
+
+class TestCodecProperties:
+    @given(st.lists(st.integers(-32768, 32767), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_codecs_preserve_length(self, values):
+        samples = np.array(values, dtype=np.int16)
+        for sound_type in (MULAW_8K, ALAW_8K, PCM16_8K):
+            decoded = encodings.decode(
+                encodings.encode(samples, sound_type), sound_type)
+            assert len(decoded) == len(samples)
+
+    @given(st.lists(st.integers(-32768, 32767), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_mulaw_is_monotonic(self, values):
+        # The codec must preserve sample ordering for same-sign pairs
+        # of equal magnitude ordering: |a| <= |b| implies the decoded
+        # magnitudes keep that order.
+        samples = np.sort(np.array(values, dtype=np.int16))
+        decoded = encodings.mulaw_decode(encodings.mulaw_encode(samples))
+        assert np.all(np.diff(decoded.astype(np.int32)) >= 0)
+
+
+class TestDtmfProperties:
+    @given(st.text(alphabet="0123456789*#ABCD", min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_generate_then_detect_roundtrips(self, digits):
+        wave = generate_digits(digits, RATE)
+        detector = DtmfDetector(RATE)
+        assert "".join(detector.feed(wave)) == digits
+
+    @given(st.text(alphabet="0123456789*#ABCD", min_size=1, max_size=6),
+           st.integers(17, 400))
+    @settings(max_examples=40, deadline=None)
+    def test_detection_is_blocking_invariant(self, digits, block):
+        # Detection must not depend on how the stream is chopped up.
+        wave = generate_digits(digits, RATE)
+        detector = DtmfDetector(RATE)
+        collected = []
+        for start in range(0, len(wave), block):
+            collected.extend(detector.feed(wave[start:start + block]))
+        assert "".join(collected) == digits
+
+
+class TestAuFileProperties:
+    @given(st.binary(min_size=0, max_size=512),
+           st.text(alphabet=st.characters(codec="ascii",
+                                          exclude_characters="\0"),
+                   max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_mulaw_au_roundtrip(self, tmp_path_factory, data, annotation):
+        path = tmp_path_factory.mktemp("au") / "x.au"
+        write_au(path, data, MULAW_8K, annotation=annotation)
+        back, sound_type, note = read_au(path)
+        assert back == data
+        assert sound_type == MULAW_8K
+        assert note == annotation
+
+
+class TestMixProperties:
+    @given(st.lists(st.lists(st.integers(-32768, 32767), min_size=1,
+                             max_size=40),
+                    min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_mix_bounded_and_length(self, blocks):
+        arrays = [np.array(block, dtype=np.int16) for block in blocks]
+        mixed = mix(arrays)
+        assert len(mixed) == max(len(block) for block in arrays)
+        assert mixed.dtype == np.int16
+
+    @given(st.lists(st.integers(-(2**40), 2**40), min_size=1,
+                    max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_saturate_idempotent(self, values):
+        wide = np.array(values, dtype=np.int64)
+        once = saturate(wide)
+        twice = saturate(once.astype(np.int64))
+        assert np.array_equal(once, twice)
+        assert once.min() >= -32768 and once.max() <= 32767

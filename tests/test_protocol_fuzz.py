@@ -1,0 +1,128 @@
+"""Fuzzing the protocol decoders.
+
+Property: no byte sequence, however hostile, makes a decoder raise
+anything but WireFormatError (or ProtocolError semantics downstream) --
+the server turns WireFormatError into BadRequest instead of crashing, so
+the decoders are the crash surface worth fuzzing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.attributes import AttributeList
+from repro.protocol.errors import ProtocolError
+from repro.protocol.events import Event
+from repro.protocol.requests import REQUEST_CLASSES, decode_request
+from repro.protocol.types import ErrorCode, EventCode, OpCode
+from repro.protocol.wire import (
+    Message,
+    MessageKind,
+    Reader,
+    WireFormatError,
+)
+
+
+class TestDecodeRequestFuzz:
+    @given(st.integers(0, 255), st.binary(max_size=256))
+    @settings(max_examples=300, deadline=None)
+    def test_random_bytes_never_crash(self, opcode, payload):
+        try:
+            request = decode_request(opcode, payload)
+        except WireFormatError:
+            return
+        except (ValueError, OverflowError) as exc:
+            pytest.fail("leaked %r for opcode %d" % (exc, opcode))
+        # A successful decode must re-encode without error.
+        request.encode()
+
+    @given(st.sampled_from(sorted(OpCode, key=int)),
+           st.binary(max_size=64))
+    @settings(max_examples=300, deadline=None)
+    def test_valid_opcodes_with_garbage_payloads(self, opcode, payload):
+        try:
+            decode_request(int(opcode), payload)
+        except WireFormatError:
+            pass
+
+    @given(st.binary(max_size=128))
+    @settings(max_examples=200, deadline=None)
+    def test_attribute_list_decoder(self, payload):
+        try:
+            AttributeList.read(Reader(payload))
+        except WireFormatError:
+            pass
+
+    @given(st.binary(max_size=128), st.integers(0, 0xFFFF))
+    @settings(max_examples=200, deadline=None)
+    def test_event_decoder(self, payload, sequence):
+        # Any EVENT-kind message body must decode or fail cleanly.
+        message = Message(MessageKind.EVENT, int(EventCode.SYNC),
+                          sequence, payload)
+        try:
+            Event.decode(message)
+        except WireFormatError:
+            pass
+
+    @given(st.binary(max_size=128))
+    @settings(max_examples=200, deadline=None)
+    def test_error_decoder(self, payload):
+        message = Message(MessageKind.ERROR, int(ErrorCode.BAD_VALUE),
+                          0, payload)
+        try:
+            ProtocolError.decode(message)
+        except WireFormatError:
+            pass
+
+
+class TestRoundTripCompleteness:
+    def test_every_request_class_default_roundtrips(self):
+        """Every request built from minimal defaults survives
+        encode/decode -- catches field-order drift between the two."""
+        import dataclasses
+
+        from repro.protocol.types import (
+            Command,
+            CommandMode,
+            DeviceClass,
+            EventMask,
+            MULAW_8K,
+            QueueOp,
+            StackPosition,
+        )
+
+        defaults = {
+            int: 1,
+            str: "x",
+            bool: True,
+            bytes: b"\x00",
+            Command: Command.PLAY,
+            CommandMode: CommandMode.QUEUED,
+            DeviceClass: DeviceClass.PLAYER,
+            EventMask: EventMask.QUEUE,
+            QueueOp: QueueOp.START,
+            StackPosition: StackPosition.TOP,
+        }
+        for opcode, cls in REQUEST_CLASSES.items():
+            kwargs = {}
+            for field in dataclasses.fields(cls):
+                if field.default is not dataclasses.MISSING or \
+                        field.default_factory is not dataclasses.MISSING:
+                    continue
+                annotation = field.type
+                for known, value in defaults.items():
+                    if known.__name__ in str(annotation):
+                        kwargs[field.name] = value
+                        break
+                else:
+                    if "SoundType" in str(annotation):
+                        kwargs[field.name] = MULAW_8K
+                    elif "AttributeList" in str(annotation):
+                        from repro.protocol.attributes import AttributeList
+
+                        kwargs[field.name] = AttributeList.of(x=1)
+                    else:
+                        kwargs[field.name] = 1
+            request = cls(**kwargs)
+            decoded = decode_request(int(opcode), request.encode())
+            assert decoded == request, cls.__name__

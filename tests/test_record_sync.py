@@ -1,0 +1,109 @@
+"""Recording-progress sync events and the Soundviewer's record mode."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import tones
+from repro.hardware import InjectedSource
+from repro.protocol import events as ev
+from repro.protocol.types import (
+    DeviceClass,
+    EventCode,
+    EventMask,
+    PCM16_8K,
+    RecordTermination,
+)
+from repro.toolkit import Soundviewer
+
+RATE = 8000
+
+
+def build_recorder(client):
+    loud = client.create_loud()
+    microphone = loud.create_device(DeviceClass.INPUT)
+    recorder = loud.create_device(DeviceClass.RECORDER)
+    loud.wire(microphone, 0, recorder, 0)
+    loud.select_events(EventMask.QUEUE | EventMask.RECORDER
+                       | EventMask.SYNC)
+    loud.map()
+    return loud, recorder
+
+
+class TestRecordSyncEvents:
+    def test_sync_events_during_recording(self, server, client):
+        loud, recorder = build_recorder(client)
+        take = client.create_sound(PCM16_8K)
+        recorder.record(take, termination=int(RecordTermination.MAX_LENGTH),
+                        max_length_ms=1000, sync_interval_ms=100)
+        loud.start_queue()
+        assert client.wait_for_event(
+            lambda e: e.code is EventCode.RECORD_STOPPED, timeout=20)
+        marks = [event.args[ev.ARG_FRAMES_DONE]
+                 for event in client.pending_events()
+                 if event.code is EventCode.SYNC]
+        assert len(marks) >= 9
+        assert marks == sorted(marks)
+        # Totals carried for bounded recordings.
+        assert marks[-1] <= RATE
+
+    def test_no_sync_without_interval(self, server, client):
+        loud, recorder = build_recorder(client)
+        take = client.create_sound(PCM16_8K)
+        recorder.record(take, termination=int(RecordTermination.MAX_LENGTH),
+                        max_length_ms=300)
+        loud.start_queue()
+        assert client.wait_for_event(
+            lambda e: e.code is EventCode.RECORD_STOPPED, timeout=20)
+        syncs = [event for event in client.pending_events()
+                 if event.code is EventCode.SYNC]
+        assert syncs == []
+
+
+class TestRecordingViewer:
+    def test_record_mode_viewer_grows(self, server, client):
+        loud, recorder = build_recorder(client)
+        take = client.create_sound(PCM16_8K)
+        viewer = Soundviewer.for_recording(sample_rate=RATE, width=20,
+                                           window_seconds=2.0)
+        recorder.record(take, termination=int(RecordTermination.MAX_LENGTH),
+                        max_length_ms=1000, sync_interval_ms=100)
+        loud.start_queue()
+        assert client.wait_for_event(
+            lambda e: e.code is EventCode.RECORD_STOPPED, timeout=20)
+        renders = []
+        for event in client.pending_events():
+            if viewer.handle_event(event):
+                renders.append(viewer.render())
+        assert viewer.repaints >= 9
+        assert all("REC" in line for line in renders)
+        # The bar grows monotonically: 1 s into a 2 s window = half full.
+        assert renders[-1].count("▓") == 10
+
+    def test_record_mode_keeps_window_total(self):
+        from repro.protocol.attributes import AttributeList
+        from repro.protocol.events import Event
+
+        viewer = Soundviewer.for_recording(sample_rate=RATE, width=10,
+                                           window_seconds=1.0)
+        event = Event(EventCode.SYNC, args=AttributeList({
+            ev.ARG_FRAMES_DONE: 4000,
+            ev.ARG_FRAMES_TOTAL: 99999,   # must not replace the window
+        }))
+        viewer.handle_event(event)
+        assert viewer.total_frames == RATE
+        assert "REC" in viewer.render()
+
+    def test_record_mode_past_window_clamps_bar(self):
+        from repro.protocol.attributes import AttributeList
+        from repro.protocol.events import Event
+
+        viewer = Soundviewer.for_recording(sample_rate=RATE, width=10,
+                                           window_seconds=1.0)
+        event = Event(EventCode.SYNC, args=AttributeList({
+            ev.ARG_FRAMES_DONE: 5 * RATE,
+            ev.ARG_FRAMES_TOTAL: -1,
+        }))
+        viewer.handle_event(event)
+        line = viewer.render()
+        assert line.count("▓") == 10    # bar full
+        assert "5.0s" in line           # but time keeps counting

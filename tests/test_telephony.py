@@ -1,0 +1,316 @@
+"""Unit tests for the simulated telephone exchange, lines, and parties."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import tones
+from repro.dsp.dtmf import DtmfDetector
+from repro.dsp.mixing import rms
+from repro.hardware import AudioHub, HardwareConfig, LineSpec
+from repro.telephony import (
+    CallState,
+    Dial,
+    HangUp,
+    HookState,
+    SendDtmf,
+    SimulatedParty,
+    Speak,
+    TelephoneExchange,
+    Wait,
+    WaitForConnect,
+    WaitForSilence,
+)
+
+RATE = 8000
+BLOCK = 160
+
+
+def _exchange_with(*numbers):
+    exchange = TelephoneExchange(RATE)
+    lines = [exchange.add_line(number) for number in numbers]
+    return exchange, lines
+
+
+class TestExchangeBasics:
+    def test_add_line_unique(self):
+        exchange, _ = _exchange_with("100")
+        with pytest.raises(ValueError):
+            exchange.add_line("100")
+
+    def test_dial_and_answer(self):
+        exchange, (caller, callee) = _exchange_with("100", "200")
+        caller.off_hook()
+        caller.dial("200")
+        assert callee.ringing
+        assert callee.caller_info.number == "100"
+        callee.off_hook()
+        call = exchange.call_for(caller)
+        assert call.state is CallState.CONNECTED
+        assert not callee.ringing
+
+    def test_dial_bad_number_fails(self):
+        exchange, (caller,) = _exchange_with("100")
+        failures = []
+
+        class Listener:
+            def on_call_failed(self, reason):
+                failures.append(reason)
+
+        caller.add_listener(Listener())
+        caller.off_hook()
+        caller.dial("999")
+        assert failures == ["no such number"]
+
+    def test_dial_busy(self):
+        exchange, (a, b, c) = _exchange_with("100", "200", "300")
+        a.off_hook()
+        a.dial("200")
+        b.off_hook()     # answers
+        failures = []
+
+        class Listener:
+            def on_call_failed(self, reason):
+                failures.append(reason)
+
+        c.add_listener(Listener())
+        c.off_hook()
+        c.dial("200")
+        assert failures == ["busy"]
+
+    def test_dial_self_fails(self):
+        exchange, (caller,) = _exchange_with("100")
+        failures = []
+
+        class Listener:
+            def on_call_failed(self, reason):
+                failures.append(reason)
+
+        caller.add_listener(Listener())
+        caller.off_hook()
+        caller.dial("100")
+        assert failures == ["called self"]
+
+    def test_dial_on_hook_rejected(self):
+        exchange, (caller,) = _exchange_with("100")
+        with pytest.raises(RuntimeError):
+            caller.dial("200")
+
+    def test_hangup_notifies_other_party(self):
+        exchange, (caller, callee) = _exchange_with("100", "200")
+        hangups = []
+
+        class Listener:
+            def on_far_hangup(self):
+                hangups.append(True)
+
+        caller.add_listener(Listener())
+        caller.off_hook()
+        caller.dial("200")
+        callee.off_hook()
+        callee.on_hook()
+        assert hangups == [True]
+
+    def test_caller_abandons_while_ringing(self):
+        exchange, (caller, callee) = _exchange_with("100", "200")
+        caller.off_hook()
+        caller.dial("200")
+        assert callee.ringing
+        caller.on_hook()
+        assert not callee.ringing
+
+    def test_no_answer_timeout(self):
+        exchange, (caller, callee) = _exchange_with("100", "200")
+        failures = []
+
+        class Listener:
+            def on_call_failed(self, reason):
+                failures.append(reason)
+
+        caller.add_listener(Listener())
+        caller.off_hook()
+        caller.dial("200")
+        blocks = int(exchange.NO_ANSWER_SECONDS * RATE / BLOCK) + 2
+        for _ in range(blocks):
+            exchange.tick(BLOCK)
+        assert failures == ["no answer"]
+        assert not callee.ringing
+
+
+class TestCallForwarding:
+    def test_unanswered_call_forwards(self):
+        exchange, (caller, desk, voicemail) = _exchange_with(
+            "100", "200", "300")
+        desk.forward_to = "300"
+        caller.off_hook()
+        caller.dial("200")
+        assert desk.ringing
+        blocks = int(exchange.FORWARD_AFTER_SECONDS * RATE / BLOCK) + 2
+        for _ in range(blocks):
+            exchange.tick(BLOCK)
+        assert not desk.ringing
+        assert voicemail.ringing
+        assert voicemail.caller_info.number == "100"
+        assert voicemail.caller_info.forwarded_from == "200"
+
+    def test_forward_to_busy_target_fails(self):
+        exchange, (caller, desk, target, other) = _exchange_with(
+            "100", "200", "300", "400")
+        desk.forward_to = "300"
+        target.off_hook()   # target busy
+        failures = []
+
+        class Listener:
+            def on_call_failed(self, reason):
+                failures.append(reason)
+
+        caller.add_listener(Listener())
+        caller.off_hook()
+        caller.dial("200")
+        blocks = int(exchange.FORWARD_AFTER_SECONDS * RATE / BLOCK) + 2
+        for _ in range(blocks):
+            exchange.tick(BLOCK)
+        assert failures == ["forward failed"]
+
+
+class TestAudioPath:
+    def test_two_way_audio(self):
+        exchange, (a, b) = _exchange_with("100", "200")
+        a.off_hook()
+        a.dial("200")
+        b.off_hook()
+        tone = tones.sine(440.0, BLOCK / RATE, RATE)
+        a.send_audio(tone)
+        received = b.receive_audio(BLOCK)
+        assert np.array_equal(received, tone)
+
+    def test_no_audio_before_connect(self):
+        exchange, (a, b) = _exchange_with("100", "200")
+        a.off_hook()
+        a.dial("200")   # ringing, not connected
+        a.send_audio(tones.sine(440.0, BLOCK / RATE, RATE))
+        assert np.all(b.receive_audio(BLOCK) == 0)
+
+    def test_receive_pads_with_silence(self):
+        exchange, (a, b) = _exchange_with("100", "200")
+        a.off_hook()
+        a.dial("200")
+        b.off_hook()
+        a.send_audio(np.ones(40, dtype=np.int16))
+        block = b.receive_audio(BLOCK)
+        assert np.all(block[:40] == 1)
+        assert np.all(block[40:] == 0)
+
+    def test_inbound_buffer_bounded(self):
+        exchange, (a, b) = _exchange_with("100", "200")
+        a.off_hook()
+        a.dial("200")
+        b.off_hook()
+        for _ in range(200):
+            a.send_audio(np.ones(BLOCK, dtype=np.int16))
+        assert len(b._inbound) <= 64
+
+
+class TestSimulatedParty:
+    def _hub_with_party(self, script=None, answer_after_rings=1):
+        hub = AudioHub(HardwareConfig(
+            lines=(LineSpec("line-0", "5550100"),)))
+        remote_line = hub.exchange.add_line("5550111")
+        party = SimulatedParty(remote_line,
+                               answer_after_rings=answer_after_rings,
+                               script=script)
+        hub.exchange.add_party(party)
+        return hub, party
+
+    def test_party_answers_after_ring(self):
+        hub, party = self._hub_with_party()
+        hub.lines[0].dial("5550111")
+        hub.step_seconds(1.0)
+        assert party.connected
+        assert party.line.hook is HookState.ON_HOOK or True  # answered
+        assert hub.exchange.call_for(hub.lines[0].line).state \
+            is CallState.CONNECTED
+
+    def test_party_hears_what_we_send(self):
+        hub, party = self._hub_with_party()
+        hub.lines[0].dial("5550111")
+        hub.step_seconds(0.5)
+        tone = tones.sine(440.0, BLOCK / RATE, RATE)
+        hub.add_tick_callback(
+            lambda t, frames: hub.lines[0].play(tone))
+        hub.step_seconds(0.5)
+        assert rms(party.heard_audio()) > 1000
+
+    def test_party_speaks_and_we_hear(self):
+        speech = tones.sine(300.0, 0.3, RATE)
+        hub, party = self._hub_with_party(script=[Speak(speech)])
+        heard = []
+        hub.add_tick_callback(
+            lambda t, frames: heard.append(hub.lines[0].read(frames)))
+        hub.lines[0].dial("5550111")
+        hub.step_seconds(1.5)
+        assert rms(np.concatenate(heard)) > 500
+
+    def test_party_sends_dtmf_we_decode(self):
+        hub, party = self._hub_with_party(
+            script=[Wait(0.2), SendDtmf("42")])
+        detector = DtmfDetector(RATE)
+        digits = []
+        hub.add_tick_callback(
+            lambda t, frames: digits.extend(
+                detector.feed(hub.lines[0].read(frames))))
+        hub.lines[0].dial("5550111")
+        hub.step_seconds(2.0)
+        assert digits == ["4", "2"]
+
+    def test_party_hangs_up(self):
+        hub, party = self._hub_with_party(script=[Wait(0.2), HangUp()])
+        hangups = []
+
+        class Listener:
+            def on_far_hangup(self):
+                hangups.append(True)
+
+        hub.lines[0].add_listener(Listener())
+        hub.lines[0].dial("5550111")
+        hub.step_seconds(1.0)
+        assert hangups == [True]
+
+    def test_party_dials_us(self):
+        hub, party = self._hub_with_party(answer_after_rings=None,
+                                          script=[Dial("5550100"),
+                                                  WaitForConnect()])
+        rings = []
+
+        class Listener:
+            def on_ring_start(self, caller_info):
+                rings.append(caller_info.number)
+
+        hub.lines[0].add_listener(Listener())
+        hub.step_seconds(0.5)
+        assert rings == ["5550111"]
+        hub.lines[0].answer()
+        hub.step_seconds(0.5)
+        assert party.connected
+
+    def test_wait_for_silence_syncs_on_prompt_end(self):
+        hub, party = self._hub_with_party(
+            script=[WaitForSilence(0.3), SendDtmf("7")])
+        # Play a 0.5 s prompt to the party, then stop.
+        prompt = tones.sine(400.0, 0.5, RATE)
+        state = {"cursor": 0}
+
+        def feed(sample_time, frames):
+            cursor = state["cursor"]
+            if cursor < len(prompt):
+                hub.lines[0].play(prompt[cursor:cursor + frames])
+                state["cursor"] = cursor + frames
+
+        hub.add_tick_callback(feed)
+        detector = DtmfDetector(RATE)
+        digits = []
+        hub.add_tick_callback(
+            lambda t, frames: digits.extend(
+                detector.feed(hub.lines[0].read(frames))))
+        hub.lines[0].dial("5550111")
+        hub.step_seconds(3.0)
+        assert digits == ["7"]
