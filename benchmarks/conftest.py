@@ -1,11 +1,21 @@
-"""Benchmark session support: the experiment report.
+"""Benchmark session support: the experiment report and stats capture.
 
 Each bench registers human-readable result rows with the ``report``
 fixture; at session end the collected rows are printed as the
-paper-vs-measured table that EXPERIMENTS.md records.
+paper-vs-measured table that EXPERIMENTS.md records, and the server-side
+stats snapshots captured by every rig are written to BENCH_STATS.json.
+
+``REPRO_BENCH_FAST=1`` switches the whole suite to smoke mode: rigs and
+workloads shrink via :func:`repro.bench.harness.scaled`, and the
+pytest-benchmark calibration loop is clamped to a minimum here.
 """
 
+import json
+import os
+
 import pytest
+
+from repro.bench import harness
 
 _ROWS: list[str] = []
 
@@ -28,7 +38,38 @@ def report():
     return Report()
 
 
+@pytest.fixture(autouse=True)
+def _label_rig_stats(request):
+    """Attribute rig stats snapshots to the running experiment."""
+    harness.CURRENT_LABEL = request.node.nodeid
+    yield
+    harness.CURRENT_LABEL = None
+
+
+def pytest_configure(config):
+    if not harness.FAST:
+        return
+    # Smoke mode: stop pytest-benchmark from calibrating/looping; one
+    # quick round per bench is enough to prove the path works.
+    for option, value in (("benchmark_min_rounds", 1),
+                          ("benchmark_max_time", 0.1),
+                          ("benchmark_warmup", "off"),
+                          ("benchmark_disable_gc", False)):
+        if hasattr(config.option, option):
+            setattr(config.option, option, value)
+
+
 def pytest_sessionfinish(session, exitstatus):
+    if harness.SESSION_STATS:
+        path = os.path.join(str(session.config.rootdir), "BENCH_STATS.json")
+        try:
+            with open(path, "w") as handle:
+                json.dump({"fast_mode": harness.FAST,
+                           "runs": harness.SESSION_STATS}, handle, indent=2)
+            print("\nserver stats for %d rig(s) written to %s"
+                  % (len(harness.SESSION_STATS), path))
+        except OSError as exc:
+            print("\ncould not write %s: %s" % (path, exc))
     if not _ROWS:
         return
     separator = "-" * 100

@@ -10,16 +10,16 @@ high-rate comparison point.  The hub free-runs (virtual pacing), so the
 measurement is pure processing cost with no sleep time in it.
 """
 
-import pytest
 
 from repro.bench import (
     CpuMeter,
     build_playback_loud,
     make_rig,
+    scaled,
     wait_queue_empty,
 )
 from repro.bench.workloads import tone_seconds
-from repro.protocol.types import MULAW_8K, PCM16_8K, PCM16_CD, SoundType
+from repro.protocol.types import MULAW_8K, PCM16_CD, SoundType
 
 
 def stream_seconds(rig, sound_type, seconds: float) -> CpuMeter:
@@ -42,9 +42,11 @@ def test_telephone_rate_utilization(benchmark, report):
     rig = make_rig(sample_rate=8000)
     try:
         def run():
-            return stream_seconds(rig, MULAW_8K, 30.0).utilization
+            return stream_seconds(rig, MULAW_8K,
+                                  scaled(30.0, 2.0)).utilization
 
-        utilization = benchmark.pedantic(run, rounds=3, iterations=1)
+        utilization = benchmark.pedantic(run, rounds=scaled(3, 1),
+                                         iterations=1)
         report.row("E3", "CPU per audio second, mu-law 8 kHz",
                    "%.1f%%" % (utilization * 100.0),
                    "'well under 10% of the CPU'")
@@ -60,9 +62,11 @@ def test_cd_rate_utilization(benchmark, report):
     cd_type = SoundType(PCM16_CD.encoding, 16, 44100)
     try:
         def run():
-            return stream_seconds(rig, cd_type, 10.0).utilization
+            return stream_seconds(rig, cd_type,
+                                  scaled(10.0, 1.0)).utilization
 
-        utilization = benchmark.pedantic(run, rounds=3, iterations=1)
+        utilization = benchmark.pedantic(run, rounds=scaled(3, 1),
+                                         iterations=1)
         report.row("E3", "CPU per audio second, PCM16 44.1 kHz",
                    "%.1f%%" % (utilization * 100.0),
                    "sustainable (< 100%)")
@@ -81,10 +85,12 @@ def test_idle_server_is_cheap(benchmark, report):
         def run():
             start = rig.server.hub.clock.sample_time
             with CpuMeter(rig.server) as meter:
-                rig.server.hub.clock.wait_until(start + 8000 * 30)
+                rig.server.hub.clock.wait_until(
+                    start + 8000 * scaled(30, 2))
             return meter.utilization
 
-        utilization = benchmark.pedantic(run, rounds=3, iterations=1)
+        utilization = benchmark.pedantic(run, rounds=scaled(3, 1),
+                                         iterations=1)
         report.row("E3", "CPU per audio second, idle active LOUD",
                    "%.1f%%" % (utilization * 100.0), "near zero")
         assert utilization < 0.10

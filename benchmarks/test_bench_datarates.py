@@ -12,13 +12,12 @@ each coding (server-cached path), plus the client-supplied real-time
 stream path with DATA_REQUEST flow control.
 """
 
-import numpy as np
 import pytest
 
-from repro.bench import build_playback_loud, make_rig, wait_queue_empty
+from repro.bench import build_playback_loud, make_rig, scaled, \
+    wait_queue_empty
 from repro.bench.workloads import tone_seconds
 from repro.dsp import encodings
-from repro.protocol import events as ev
 from repro.protocol.types import (
     ADPCM_8K,
     EventCode,
@@ -43,7 +42,7 @@ def test_cached_streaming_speed(benchmark, report, label, rate, block,
     rig = make_rig(sample_rate=rate, block_frames=block)
     try:
         loud, player, _output = build_playback_loud(rig.client)
-        seconds = 20.0
+        seconds = scaled(20.0, 2.0)
         audio = tone_seconds(seconds, rate)
         sound = rig.client.sound_from_samples(audio, sound_type)
         rig.client.sync()
@@ -53,7 +52,7 @@ def test_cached_streaming_speed(benchmark, report, label, rate, block,
             loud.start_queue()
             wait_queue_empty(rig.client, loud, timeout=300)
 
-        benchmark.pedantic(run, rounds=3, iterations=1)
+        benchmark.pedantic(run, rounds=scaled(3, 1), iterations=1)
         wall = benchmark.stats.stats.mean
         speedup = seconds / wall
         data_rate = sound_type.bytes_per_second() * speedup
@@ -80,7 +79,7 @@ def test_client_supplied_realtime_stream(benchmark, report):
             stream.make_stream(buffer_frames=rate,  # 1 s of buffer
                                low_water_frames=rate // 4)
             stream.select_events(EventMask.DATA)
-            total_seconds = 5.0
+            total_seconds = scaled(5.0, 1.0)
             audio = tone_seconds(total_seconds, rate)
             data = encodings.encode(audio, MULAW_8K)
             # Prime the buffer, start playback, then feed on demand.
@@ -108,7 +107,8 @@ def test_client_supplied_realtime_stream(benchmark, report):
             loud.unmap()
             return delivered
 
-        delivered = benchmark.pedantic(run, rounds=3, iterations=1)
+        delivered = benchmark.pedantic(run, rounds=scaled(3, 1),
+                                       iterations=1)
         wall = benchmark.stats.stats.mean
         report.row("E4", "client-supplied real-time stream (5 s fed)",
                    "%.0f B/s over the wire" % (delivered / wall),

@@ -10,12 +10,10 @@ per command (the design the server-side queue replaces).
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import (
     build_playback_loud,
     count_gap_samples,
-    find_signal,
     make_rig,
     wait_queue_empty,
 )

@@ -10,7 +10,7 @@ grows (roughly linear is the expectation)."""
 import numpy as np
 import pytest
 
-from repro.bench import CpuMeter, build_playback_loud, make_rig, \
+from repro.bench import CpuMeter, build_playback_loud, make_rig, scaled, \
     wait_queue_empty
 from repro.bench.workloads import tone_seconds
 from repro.protocol.types import PCM16_8K
@@ -79,8 +79,8 @@ def test_mixing_cost_scales(benchmark, report, client_count):
     rig = make_rig()
     try:
         utilization = benchmark.pedantic(
-            lambda: play_n_clients(rig, client_count, 10.0),
-            rounds=2, iterations=1)
+            lambda: play_n_clients(rig, client_count, scaled(10.0, 1.0)),
+            rounds=scaled(2, 1), iterations=1)
         report.row("E5", "CPU per audio second, %d client(s) playing"
                    % client_count,
                    "%.1f%%" % (utilization * 100.0),

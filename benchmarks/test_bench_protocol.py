@@ -9,10 +9,9 @@ Measured: synchronous round trips per second on one connection;
 pipelined async requests per second; connection setup cost.
 """
 
-import pytest
 
 from repro.alib import AudioClient
-from repro.bench import make_rig
+from repro.bench import make_rig, scaled
 from repro.protocol.requests import GetTime, NoOperation
 
 
@@ -36,14 +35,15 @@ def test_round_trips_per_second(benchmark, report):
 def test_pipelined_async_requests(benchmark, report):
     rig = make_rig()
     try:
-        batch = 2000
+        batch = scaled(2000, 200)
 
         def pipeline_batch():
             for _ in range(batch):
                 rig.client.conn.send(NoOperation())
             rig.client.sync()
 
-        benchmark.pedantic(pipeline_batch, rounds=5, iterations=1)
+        benchmark.pedantic(pipeline_batch, rounds=scaled(5, 2),
+                           iterations=1)
         per_second = batch / benchmark.stats.stats.mean
         report.row("E6", "pipelined async requests",
                    "%.0f /s" % per_second,
@@ -63,7 +63,8 @@ def test_connection_setup_cost(benchmark, report):
             client.server_info()
             client.close()
 
-        benchmark.pedantic(connect_and_close, rounds=10, iterations=1)
+        benchmark.pedantic(connect_and_close, rounds=scaled(10, 3),
+                           iterations=1)
         milliseconds = benchmark.stats.stats.mean * 1000.0
         report.row("E6", "connection setup + first query",
                    "%.1f ms" % milliseconds,

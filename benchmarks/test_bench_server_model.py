@@ -11,13 +11,12 @@ socket protocol and (b) direct in-process access to the hub (the
 price of sharing, arbitration and device independence.
 """
 
-import numpy as np
-import pytest
 
 from repro.bench import (
     CpuMeter,
     build_playback_loud,
     make_rig,
+    scaled,
     wait_queue_empty,
 )
 from repro.bench.workloads import tone_seconds
@@ -25,7 +24,7 @@ from repro.hardware import AudioHub, HardwareConfig
 from repro.protocol.types import PCM16_8K
 
 RATE = 8000
-SECONDS = 20.0
+SECONDS = scaled(20.0, 2.0)
 
 
 def socket_path_cpu() -> float:
@@ -75,7 +74,7 @@ def test_server_vs_direct_overhead(benchmark, report):
         results["socket"] = socket_path_cpu()
         results["direct"] = direct_path_cpu()
 
-    benchmark.pedantic(run_both, rounds=2, iterations=1)
+    benchmark.pedantic(run_both, rounds=scaled(2, 1), iterations=1)
     overhead = results["socket"] / max(results["direct"], 1e-9)
     report.row("E8", "server (socket) CPU per audio second",
                "%.2f%%" % (results["socket"] * 100.0), "")

@@ -17,10 +17,8 @@ message after the beep and hangs up.
 Run:  python examples/answering_machine.py
 """
 
-import numpy as np
 
 from repro.alib import AudioClient
-from repro.dsp import tones
 from repro.dsp.synthesis import FormantSynthesizer
 from repro.protocol import events as ev
 from repro.protocol.types import (

@@ -16,12 +16,10 @@ The three applications are three separate client connections.
 Run:  python examples/call_preemption.py
 """
 
-import numpy as np
 
 from repro.alib import AudioClient
 from repro.manager import AudioManager, TelephonePriorityPolicy
 from repro.protocol.types import (
-    Command,
     DeviceClass,
     EventCode,
     EventMask,

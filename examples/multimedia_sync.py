@@ -20,8 +20,6 @@ from repro.alib import AudioClient
 from repro.dsp.music import MusicSynthesizer
 from repro.dsp.synthesis import FormantSynthesizer
 from repro.protocol.types import (
-    Command,
-    CommandMode,
     DeviceClass,
     EventCode,
     EventMask,

@@ -28,7 +28,6 @@ from repro.protocol.types import (
 from repro.server import AudioServer
 from repro.telephony import (
     Dial,
-    HangUp,
     SendDtmf,
     SimulatedParty,
     Speak,

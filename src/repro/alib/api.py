@@ -47,7 +47,7 @@ class AudioClient:
                  client_name: str = "") -> None:
         self.conn = AudioConnection(host, port, client_name)
 
-    # -- server-level queries ------------------------------------------------------
+    # -- server-level queries -------------------------------------------------
 
     def server_info(self) -> rq.QueryServerReply:
         return self.conn.round_trip(rq.QueryServer())
@@ -62,13 +62,17 @@ class AudioClient:
     def time(self) -> rq.GetTimeReply:
         return self.conn.round_trip(rq.GetTime())
 
+    def server_stats(self) -> rq.GetServerStatsReply:
+        """The server's metrics snapshot (counters, gauges, histograms)."""
+        return self.conn.round_trip(rq.GetServerStats())
+
     def sync(self) -> None:
         self.conn.sync()
 
     def no_op(self) -> None:
         self.conn.send(rq.NoOperation())
 
-    # -- resource creation ------------------------------------------------------------
+    # -- resource creation ----------------------------------------------------
 
     def create_loud(self, parent: "LoudHandle | None" = None,
                     attributes: dict | None = None) -> "LoudHandle":
@@ -109,7 +113,7 @@ class AudioClient:
     def list_catalogue(self, catalogue: str = "") -> list[str]:
         return self.conn.round_trip(rq.ListCatalogue(catalogue)).names
 
-    # -- events -------------------------------------------------------------------------
+    # -- events ---------------------------------------------------------------
 
     def select_events(self, resource: int, mask: EventMask) -> None:
         self.conn.send(rq.SelectEvents(resource, mask))
@@ -124,7 +128,7 @@ class AudioClient:
     def pending_events(self) -> list[Event]:
         return self.conn.pending_events()
 
-    # -- audio manager support ---------------------------------------------------------------
+    # -- audio manager support ------------------------------------------------
 
     def set_redirect(self, enabled: bool = True) -> None:
         self.conn.send(rq.SetRedirect(enabled))
@@ -138,7 +142,7 @@ class AudioClient:
         self.conn.send(rq.AllowRequest(loud_id, OpCode.RESTACK_LOUD, honor,
                                        position))
 
-    # -- properties -------------------------------------------------------------------------------
+    # -- properties -----------------------------------------------------------
 
     def change_property(self, resource: int, name: str,
                         value: object) -> None:
@@ -154,7 +158,7 @@ class AudioClient:
     def list_properties(self, resource: int) -> list[str]:
         return self.conn.round_trip(rq.ListProperties(resource)).names
 
-    # -- teardown ----------------------------------------------------------------------------------
+    # -- teardown -------------------------------------------------------------
 
     def close(self) -> None:
         self.conn.close()
@@ -175,7 +179,7 @@ class LoudHandle:
         self.loud_id = loud_id
         self.parent = parent
 
-    # -- structure ----------------------------------------------------------------
+    # -- structure ------------------------------------------------------------
 
     def create_child(self, attributes: dict | None = None) -> "LoudHandle":
         return self.client.create_loud(self, attributes)
@@ -199,7 +203,7 @@ class LoudHandle:
     def destroy(self) -> None:
         self.client.conn.send(rq.DestroyLoud(self.loud_id))
 
-    # -- mapping and stacking ---------------------------------------------------------
+    # -- mapping and stacking -------------------------------------------------
 
     def map(self) -> None:
         self.client.conn.send(rq.MapLoud(self.loud_id))
@@ -218,7 +222,7 @@ class LoudHandle:
     def query(self) -> rq.QueryLoudReply:
         return self.client.conn.round_trip(rq.QueryLoud(self.loud_id))
 
-    # -- the command queue --------------------------------------------------------------
+    # -- the command queue ----------------------------------------------------
 
     def issue(self, device: "DeviceHandle | None", command: Command,
               mode: CommandMode = CommandMode.QUEUED,
@@ -257,7 +261,7 @@ class LoudHandle:
     def query_queue(self) -> rq.QueryQueueReply:
         return self.client.conn.round_trip(rq.QueryQueue(self.loud_id))
 
-    # -- events and properties --------------------------------------------------------------
+    # -- events and properties ------------------------------------------------
 
     def select_events(self, mask: EventMask) -> None:
         self.client.select_events(self.loud_id, mask)

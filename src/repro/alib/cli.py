@@ -12,6 +12,7 @@ same operator tools.  Subcommands:
     say TEXT...                speak text at the speaker
     dial NUMBER                place a call (hangs up when done)
     monitor [SECONDS]          print device-LOUD events as they happen
+    stats                      the server's metrics snapshot
 
 Usage:  repro-audio-control [--host H] [--port N] <subcommand> ...
 """
@@ -58,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     dial.add_argument("--timeout", type=float, default=30.0)
     monitor = commands.add_parser("monitor")
     monitor.add_argument("seconds", nargs="?", type=float, default=5.0)
+    stats = commands.add_parser("stats")
+    stats.add_argument("--histograms", action="store_true",
+                       help="include latency histogram buckets")
     return parser
 
 
@@ -203,6 +207,33 @@ def cmd_monitor(client: AudioClient, args, out) -> int:
     return 0
 
 
+def cmd_stats(client: AudioClient, args, out) -> int:
+    reply = client.server_stats()
+    print("uptime:      %.1f s" % reply.uptime_seconds, file=out)
+    print("sample time: %d" % reply.sample_time, file=out)
+    for name in sorted(reply.counters):
+        print("  %-44s %d" % (name, reply.counters[name]), file=out)
+    for name in sorted(reply.gauges):
+        print("  %-44s %g" % (name, reply.gauges[name]), file=out)
+    for name in sorted(reply.histograms):
+        hist = reply.histograms[name]
+        if not hist.count:
+            continue
+        print("  %-44s n=%d mean=%.6fs" % (name, hist.count, hist.mean),
+              file=out)
+        if args.histograms:
+            for edge, bucket in zip(list(hist.edges) + [float("inf")],
+                                    hist.counts):
+                if bucket:
+                    print("    <= %-10g %d" % (edge, bucket), file=out)
+    for client_stat in reply.clients:
+        print("  client %-20s req=%d in=%dB out=%dB queued=%d"
+              % (client_stat.name or "?", client_stat.requests,
+                 client_stat.bytes_in, client_stat.bytes_out,
+                 client_stat.queue_depth), file=out)
+    return 0
+
+
 _HANDLERS = {
     "info": cmd_info,
     "devices": cmd_devices,
@@ -213,6 +244,7 @@ _HANDLERS = {
     "say": cmd_say,
     "dial": cmd_dial,
     "monitor": cmd_monitor,
+    "stats": cmd_stats,
 }
 
 

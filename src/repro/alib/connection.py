@@ -70,7 +70,7 @@ class AudioConnection:
                                         name="alib-reader", daemon=True)
         self._reader.start()
 
-    # -- ids and requests ---------------------------------------------------------
+    # -- ids and requests -----------------------------------------------------
 
     def alloc_id(self) -> int:
         """Allocate a fresh resource id from the granted range."""
@@ -143,7 +143,7 @@ class AudioConnection:
 
         self.round_trip(GetTime(), timeout=timeout)
 
-    # -- events ----------------------------------------------------------------------
+    # -- events ---------------------------------------------------------------
 
     def pending_events(self) -> list[Event]:
         """Drain the event queue without blocking."""
@@ -194,7 +194,7 @@ class AudioConnection:
                     self._events.extendleft(reversed(kept))
                     self._wakeup.notify_all()
 
-    # -- the reader thread ---------------------------------------------------------------
+    # -- the reader thread ----------------------------------------------------
 
     def _read_loop(self) -> None:
         try:
@@ -239,7 +239,7 @@ class AudioConnection:
                 self._events.append(event)
                 self._wakeup.notify_all()
 
-    # -- teardown ------------------------------------------------------------------------------
+    # -- teardown -------------------------------------------------------------
 
     def close(self) -> None:
         if self.closed:

@@ -1,18 +1,20 @@
 """Benchmark support: rigs, meters and workload generators."""
 
 from .harness import (
+    FAST,
     CpuMeter,
     Rig,
     build_playback_loud,
     count_gap_samples,
     find_signal,
     make_rig,
+    scaled,
     wait_queue_empty,
 )
 from .workloads import marked_segments, speech_like, tone_seconds
 
 __all__ = [
-    "CpuMeter", "Rig", "build_playback_loud", "count_gap_samples",
-    "find_signal", "make_rig", "marked_segments", "speech_like",
+    "FAST", "CpuMeter", "Rig", "build_playback_loud", "count_gap_samples",
+    "find_signal", "make_rig", "marked_segments", "scaled", "speech_like",
     "tone_seconds", "wait_queue_empty",
 ]

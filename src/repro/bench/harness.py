@@ -7,6 +7,7 @@ and capture analysis (gap counting, signal location).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -14,8 +15,27 @@ import numpy as np
 
 from ..alib.api import AudioClient, DeviceHandle, LoudHandle
 from ..hardware.config import HardwareConfig
-from ..protocol.types import DeviceClass, EventCode, EventMask, SoundType
+from ..protocol.types import DeviceClass, EventCode, EventMask
 from ..server.core import AudioServer
+
+#: CI smoke mode: REPRO_BENCH_FAST=1 shrinks iteration counts and
+#: durations so the whole benchmark suite finishes in seconds.
+FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+
+def scaled(normal, fast):
+    """Pick the full-size or smoke-size value of a bench parameter."""
+    return fast if FAST else normal
+
+
+#: Server stats snapshots captured by every Rig at close, labelled with
+#: :data:`CURRENT_LABEL`; the benchmark conftest folds these into the
+#: emitted BENCH_STATS.json.
+SESSION_STATS: list[dict] = []
+
+#: Set by the benchmark conftest to the running test's node id so rig
+#: snapshots can be attributed to their experiment.
+CURRENT_LABEL: str | None = None
 
 
 @dataclass
@@ -31,7 +51,17 @@ class Rig:
         self.extra_clients.append(client)
         return client
 
+    def stats_snapshot(self) -> dict:
+        """The server-side metrics snapshot for this rig, right now."""
+        return self.server.stats_snapshot()
+
     def close(self) -> None:
+        try:
+            snapshot = self.server.stats_snapshot()
+            snapshot["label"] = CURRENT_LABEL
+            SESSION_STATS.append(snapshot)
+        except Exception:
+            pass    # stats collection must never fail a benchmark
         for client in self.extra_clients:
             client.close()
         self.client.close()
@@ -45,10 +75,10 @@ class Rig:
 
 
 def make_rig(sample_rate: int = 8000, block_frames: int = 160,
-             realtime: bool = False) -> Rig:
+             realtime: bool = False, metrics=None) -> Rig:
     config = HardwareConfig(sample_rate=sample_rate,
                             block_frames=block_frames)
-    server = AudioServer(config, realtime=realtime)
+    server = AudioServer(config, realtime=realtime, metrics=metrics)
     server.start()
     client = AudioClient(port=server.port, client_name="bench")
     return Rig(server, client)

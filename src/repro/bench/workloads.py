@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..dsp import tones
-from ..protocol.types import SoundType
 
 
 def marked_segments(count: int, frames_each: int,

@@ -89,7 +89,8 @@ def read_au(path: str | os.PathLike) -> tuple[bytes, SoundType, str]:
         body = raw[data_offset:data_offset + data_size]
     if encoding is Encoding.PCM16:
         usable = len(body) - (len(body) % 2)
-        body = np.frombuffer(body[:usable], dtype=">i2").astype("<i2").tobytes()
+        body = np.frombuffer(body[:usable],
+                             dtype=">i2").astype("<i2").tobytes()
         samplesize = 16
     else:
         samplesize = 8

@@ -20,7 +20,7 @@ is better -- and a rejection threshold keeps garbage from matching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

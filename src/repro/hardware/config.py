@@ -10,7 +10,7 @@ example of permanent wiring constraints, section 5.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -162,7 +162,7 @@ class LineDevice(PhysicalAudioDevice):
             self.capture.append(block)
         self._pending = []
 
-    # -- signaling passthrough ---------------------------------------------------
+    # -- signaling passthrough ------------------------------------------------
 
     @property
     def number(self) -> str:

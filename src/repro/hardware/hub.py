@@ -70,7 +70,7 @@ class AudioHub:
         self.external_lock: threading.RLock | None = None
         self._build_devices()
 
-    # -- construction -----------------------------------------------------------
+    # -- construction ---------------------------------------------------------
 
     def _room(self, name: str) -> Room:
         if name not in self.rooms:
@@ -110,7 +110,7 @@ class AudioHub:
             self.microphones.append(microphone)
             self.lines.append(line_device)
 
-    # -- tick machinery -----------------------------------------------------------
+    # -- tick machinery -------------------------------------------------------
 
     @property
     def sample_rate(self) -> int:
@@ -170,7 +170,7 @@ class AudioHub:
                      / self.config.block_frames) + 1
         self.step(blocks)
 
-    # -- thread control --------------------------------------------------------------
+    # -- thread control -------------------------------------------------------
 
     def start(self) -> None:
         """Start the hub thread (the paper's device-layer threads)."""
@@ -193,7 +193,7 @@ class AudioHub:
             self.run_block()
             self.pacer.pace(self.config.block_frames, self.sample_rate)
 
-    # -- convenience lookups ------------------------------------------------------------
+    # -- convenience lookups --------------------------------------------------
 
     def find_device(self, name: str) -> PhysicalAudioDevice:
         for device in self.devices:

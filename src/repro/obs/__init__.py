@@ -1,0 +1,37 @@
+"""repro.obs: the server's observability plane.
+
+A serving stack that arbitrates many simultaneous clients is opaque
+without numbers: request latencies, wire throughput, event fan-out,
+queue depths.  This package supplies them with stdlib-only pieces:
+
+* :class:`~repro.obs.registry.MetricsRegistry` -- lock-cheap counters,
+  gauges and fixed-bucket histograms, with a no-op mode so the hot path
+  can run unmetered;
+* :class:`~repro.obs.logger.StatsLogger` -- periodic (or on-demand)
+  human-readable snapshot dumps, hooked to SIGUSR1 and shutdown by the
+  server entry point.
+
+The same snapshot that the logger prints travels over the protocol as
+the GET_SERVER_STATS reply, so remote clients see exactly what the
+operator sees.
+"""
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .logger import StatsLogger
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StatsLogger",
+]

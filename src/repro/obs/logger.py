@@ -1,0 +1,84 @@
+"""Snapshot logging: periodic, on-signal, and at-shutdown stats dumps.
+
+The registry's snapshot is a nested dict; this module renders it as a
+compact, operator-readable block and (optionally) re-renders it every N
+seconds from a daemon thread.  The server entry point wires ``dump`` to
+SIGUSR1 and calls it once more at shutdown, xdpyinfo-style.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Render a stats snapshot (see ``AudioServer.stats_snapshot``)."""
+    lines = ["-- server stats --"]
+    server = snapshot.get("server", {})
+    if server:
+        lines.append("uptime %.1fs  sample-time %d  clients %d"
+                     % (server.get("uptime_seconds", 0.0),
+                        server.get("sample_time", 0),
+                        server.get("clients_connected", 0)))
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        lines.append("  %-44s %d" % (name, counters[name]))
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        lines.append("  %-44s %g" % (name, gauges[name]))
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        count = hist.get("count", 0)
+        if not count:
+            continue
+        mean = hist.get("sum", 0.0) / count
+        lines.append("  %-44s n=%d mean=%.6f sum=%.4f"
+                     % (name, count, mean, hist.get("sum", 0.0)))
+    for client in snapshot.get("clients", []):
+        lines.append("  client %-20s req=%d in=%dB out=%dB queued=%d"
+                     % (client.get("name") or "?",
+                        client.get("requests", 0),
+                        client.get("bytes_in", 0),
+                        client.get("bytes_out", 0),
+                        client.get("queue_depth", 0)))
+    return "\n".join(lines)
+
+
+class StatsLogger:
+    """Dumps a server's stats snapshot to a stream, maybe periodically."""
+
+    def __init__(self, server, interval: float | None = None,
+                 out=None) -> None:
+        self.server = server
+        self.interval = interval
+        self.out = out if out is not None else sys.stderr
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def dump(self) -> None:
+        """Write one snapshot now (signal handlers call this)."""
+        try:
+            snapshot = self.server.stats_snapshot()
+        except Exception as exc:  # a stats dump must never kill the server
+            print("stats snapshot failed: %s" % exc, file=self.out)
+            return
+        print(format_snapshot(snapshot), file=self.out, flush=True)
+
+    def start(self) -> None:
+        """Begin periodic dumps (no-op without an interval)."""
+        if self.interval is None or self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run,
+                                        name="stats-logger", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.dump()

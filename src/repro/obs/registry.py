@@ -1,0 +1,246 @@
+"""Lock-cheap metrics: counters, gauges, fixed-bucket histograms.
+
+Design constraints (this code runs inside the dispatch path and the
+audio block cycle):
+
+* **stdlib only** -- no prometheus_client, no numpy;
+* **cheap increments** -- one short critical section per update, metric
+  objects are resolved once and cached by the instrumented code, not
+  looked up per event;
+* **a no-op mode** -- a registry created with ``enabled=False`` hands
+  out shared null instruments whose update methods do nothing, so the
+  cost of metering can be measured (and removed) without touching the
+  instrumented code.
+
+Snapshots are plain dicts of plain values, safe to json-dump, ship over
+the wire, or diff between two points in time.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+#: Default latency bucket upper bounds, in seconds.  Chosen for a
+#: dispatch path whose fast requests take tens of microseconds and whose
+#: slow ones (bulk sound writes) take milliseconds.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """An instantaneous value that can move both ways."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``edges`` are inclusive upper bounds; one overflow bucket catches
+    everything beyond the last edge, so ``len(counts) == len(edges) + 1``
+    and ``sum(counts) == count`` always holds.
+    """
+
+    __slots__ = ("name", "edges", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, name: str,
+                 edges: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS) -> None:
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("histogram edges must be strictly increasing")
+        self.name = name
+        self.edges = tuple(float(edge) for edge in edges)
+        self._counts = [0] * (len(self.edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.edges, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def counts(self) -> list[int]:
+        with self._lock:
+            return list(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket edges (upper-bound biased)."""
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        target = q * total
+        seen = 0
+        for index, bucket in enumerate(counts):
+            seen += bucket
+            if seen >= target:
+                if index < len(self.edges):
+                    return self.edges[index]
+                return self.edges[-1] if self.edges else 0.0
+        return self.edges[-1] if self.edges else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "edges": list(self.edges),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by disabled registries."""
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot on demand.
+
+    Instrument lookup is dict-get fast on the hit path (no lock; dict
+    reads are atomic under the GIL) and takes the registry lock only to
+    create.  Instrumented code should still cache the returned object
+    when it sits on a hot path.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null", edges=(1.0,))
+
+    # -- instrument factories ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return self._null_counter
+        found = self._counters.get(name)
+        if found is not None:
+            return found
+        with self._lock:
+            return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return self._null_gauge
+        found = self._gauges.get(name)
+        if found is not None:
+            return found
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str,
+                  edges: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        if not self.enabled:
+            return self._null_histogram
+        found = self._histograms.get(name)
+        if found is not None:
+            return found
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram(name, edges))
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything the registry knows, as plain json-able values."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: float(g.value) for g in gauges},
+            "histograms": {h.name: h.snapshot() for h in histograms},
+        }
+
+    def reset(self) -> None:
+        """Forget every instrument (tests; a live server never resets)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: Shared disabled registry for components constructed without a server
+#: (detached devices and queues in unit tests).
+NULL_REGISTRY = MetricsRegistry(enabled=False)

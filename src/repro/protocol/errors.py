@@ -61,6 +61,7 @@ class ProtocolError(Exception):
         return cls(code, message.sequence, opcode, resource, text)
 
 
-def bad(code: ErrorCode, message: str = "", resource: int = 0) -> ProtocolError:
+def bad(code: ErrorCode, message: str = "",
+        resource: int = 0) -> ProtocolError:
     """Convenience constructor used throughout the server."""
     return ProtocolError(code=code, resource=resource, message=message)

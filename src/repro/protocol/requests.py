@@ -1075,6 +1075,140 @@ class GetTime(Request):
 
 
 @dataclass
+class HistogramStat:
+    """One histogram in a stats reply: bucket edges, counts, sum, count.
+
+    ``edges`` are inclusive upper bounds with one overflow bucket, so
+    ``len(counts) == len(edges) + 1`` and ``sum(counts) == count``.
+    """
+
+    edges: list[float]
+    counts: list[int]
+    sum: float
+    count: int
+
+    def write(self, writer: Writer) -> None:
+        writer.u32(len(self.edges))
+        for edge in self.edges:
+            writer.f64(edge)
+        for bucket in self.counts:
+            writer.u64(bucket)
+        writer.f64(self.sum)
+        writer.u64(self.count)
+
+    @classmethod
+    def read(cls, reader: Reader) -> "HistogramStat":
+        n_edges = reader.u32()
+        edges = [reader.f64() for _ in range(n_edges)]
+        counts = [reader.u64() for _ in range(n_edges + 1)]
+        return cls(edges, counts, reader.f64(), reader.u64())
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+@dataclass
+class ClientStat:
+    """Per-connection wire statistics in a stats reply."""
+
+    name: str
+    requests: int
+    bytes_in: int
+    bytes_out: int
+    messages_out: int
+    queue_depth: int
+
+    def write(self, writer: Writer) -> None:
+        writer.string(self.name)
+        writer.u64(self.requests)
+        writer.u64(self.bytes_in)
+        writer.u64(self.bytes_out)
+        writer.u64(self.messages_out)
+        writer.u32(self.queue_depth)
+
+    @classmethod
+    def read(cls, reader: Reader) -> "ClientStat":
+        return cls(reader.string(), reader.u64(), reader.u64(), reader.u64(),
+                   reader.u64(), reader.u32())
+
+
+@dataclass
+class GetServerStatsReply(Reply):
+    """The server's whole metrics snapshot.
+
+    Carried generically (name -> value maps) so new instruments never
+    need a protocol change; the well-known names are documented in
+    docs/OBSERVABILITY.md.
+    """
+
+    uptime_seconds: float
+    sample_time: int
+    counters: dict[str, int]
+    gauges: dict[str, float]
+    histograms: dict[str, HistogramStat]
+    clients: list[ClientStat]
+
+    def write_payload(self, writer: Writer) -> None:
+        writer.f64(self.uptime_seconds)
+        writer.u64(self.sample_time)
+        writer.u32(len(self.counters))
+        for name, value in self.counters.items():
+            writer.string(name)
+            writer.u64(value)
+        writer.u32(len(self.gauges))
+        for name, value in self.gauges.items():
+            writer.string(name)
+            writer.f64(float(value))
+        writer.u32(len(self.histograms))
+        for name, histogram in self.histograms.items():
+            writer.string(name)
+            histogram.write(writer)
+        writer.u32(len(self.clients))
+        for client in self.clients:
+            client.write(writer)
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "GetServerStatsReply":
+        uptime_seconds = reader.f64()
+        sample_time = reader.u64()
+        counters = {}
+        for _ in range(reader.u32()):
+            name = reader.string()
+            counters[name] = reader.u64()
+        gauges = {}
+        for _ in range(reader.u32()):
+            name = reader.string()
+            gauges[name] = reader.f64()
+        histograms = {}
+        for _ in range(reader.u32()):
+            name = reader.string()
+            histograms[name] = HistogramStat.read(reader)
+        clients = [ClientStat.read(reader) for _ in range(reader.u32())]
+        return cls(uptime_seconds, sample_time, counters, gauges, histograms,
+                   clients)
+
+    def counter(self, name: str) -> int:
+        """Convenience lookup; absent counters read as zero."""
+        return self.counters.get(name, 0)
+
+
+@dataclass
+class GetServerStats(Request):
+    """Fetch the server's metrics snapshot (the observability plane)."""
+
+    OPCODE = OpCode.GET_SERVER_STATS
+    REPLY = GetServerStatsReply
+
+    def write_payload(self, writer: Writer) -> None:
+        pass
+
+    @classmethod
+    def read_payload(cls, reader: Reader) -> "GetServerStats":
+        return cls()
+
+
+@dataclass
 class NoOperation(Request):
     """Does nothing; useful for padding and benchmarks."""
 
@@ -1103,6 +1237,7 @@ REQUEST_CLASSES: dict[OpCode, type[Request]] = {
         QueryQueue, SelectEvents, ChangeProperty, GetProperty, DeleteProperty,
         ListProperties, SetRedirect, AllowRequest, QueryServer,
         QueryDeviceLoud, QueryAmbientDomains, GetTime, NoOperation,
+        GetServerStats,
     )
 }
 

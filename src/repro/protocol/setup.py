@@ -15,8 +15,6 @@ from dataclasses import dataclass
 
 from .types import PROTOCOL_MAJOR, PROTOCOL_MINOR
 from .wire import (
-    ConnectionClosed,
-    Reader,
     SETUP_MAGIC,
     WireFormatError,
     Writer,

@@ -409,6 +409,7 @@ class OpCode(enum.IntEnum):
     GET_TIME = 34
     NO_OPERATION = 35
     SET_SOUND_STREAM = 36   # mark a sound as client-supplied real-time data
+    GET_SERVER_STATS = 37   # the server's metrics snapshot (observability)
 
 
 class DeviceState(enum.IntEnum):

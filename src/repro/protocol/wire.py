@@ -215,7 +215,8 @@ def read_message(sock: socket.socket) -> Message:
     header = recv_exact(sock, HEADER_SIZE)
     kind, code, sequence, length = HEADER.unpack(header)
     if length > MAX_PAYLOAD:
-        raise WireFormatError("declared payload of %d bytes too large" % length)
+        raise WireFormatError("declared payload of %d bytes too large"
+                              % length)
     try:
         kind = MessageKind(kind)
     except ValueError as exc:

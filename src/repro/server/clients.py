@@ -24,6 +24,7 @@ from ..protocol.requests import Reply
 from ..protocol.types import EventMask
 from ..protocol.wire import (
     ConnectionClosed,
+    HEADER_SIZE,
     Message,
     MessageKind,
     WireFormatError,
@@ -49,6 +50,21 @@ class ClientConnection:
         self._selections: dict[int, EventMask] = {}
         #: True when this client is the audio manager (SetRedirect).
         self.is_manager = False
+        # Per-connection wire stats.  Each plain int below has exactly one
+        # writing thread (reader fills *_in, writer fills *_out), so no
+        # lock is needed; the shared aggregates go through the registry.
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.requests_received = 0
+        self.messages_sent = 0
+        metrics = server.metrics
+        self._m_bytes_in = metrics.counter("net.bytes_in")
+        self._m_bytes_out = metrics.counter("net.bytes_out")
+        self._m_messages_in = metrics.counter("net.messages_in")
+        self._m_messages_out = metrics.counter("net.messages_out")
+        self._m_events_sent = metrics.counter("net.events_sent")
+        self._m_replies_sent = metrics.counter("net.replies_sent")
+        self._m_errors_sent = metrics.counter("net.errors_sent")
         self._outbound: queue.Queue = queue.Queue()
         self._reader = threading.Thread(
             target=self._read_loop, name="client-reader-%d" % id_base,
@@ -61,7 +77,7 @@ class ClientConnection:
         self._writer.start()
         self._reader.start()
 
-    # -- selections ----------------------------------------------------------------
+    # -- selections -----------------------------------------------------------
 
     def select_events(self, resource: int, mask: EventMask) -> None:
         if mask == EventMask.NONE:
@@ -72,20 +88,28 @@ class ClientConnection:
     def selection_for(self, resource: int) -> EventMask:
         return self._selections.get(resource, EventMask.NONE)
 
-    # -- outbound ---------------------------------------------------------------------
+    # -- outbound -------------------------------------------------------------
 
     def send_event(self, event: Event) -> None:
         if not self.closed:
+            self._m_events_sent.inc()
             self._outbound.put(event.encode())
 
     def send_error(self, error: ProtocolError) -> None:
         if not self.closed:
+            self._m_errors_sent.inc()
             self._outbound.put(error.encode())
 
     def send_reply(self, reply: Reply, sequence: int) -> None:
         if not self.closed:
+            self._m_replies_sent.inc()
             self._outbound.put(Message(MessageKind.REPLY, 0, sequence,
                                        reply.encode()))
+
+    @property
+    def queue_depth(self) -> int:
+        """Outbound messages waiting for the writer thread."""
+        return self._outbound.qsize()
 
     def _write_loop(self) -> None:
         while True:
@@ -96,12 +120,17 @@ class ClientConnection:
                 write_message(self.sock, message)
             except OSError:
                 break
+            size = HEADER_SIZE + len(message.payload)
+            self.bytes_out += size
+            self.messages_sent += 1
+            self._m_bytes_out.inc(size)
+            self._m_messages_out.inc()
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
 
-    # -- inbound -----------------------------------------------------------------------
+    # -- inbound --------------------------------------------------------------
 
     def _read_loop(self) -> None:
         try:
@@ -112,6 +141,11 @@ class ClientConnection:
                     break
                 if message.kind is not MessageKind.REQUEST:
                     break   # clients only send requests
+                size = HEADER_SIZE + len(message.payload)
+                self.bytes_in += size
+                self.requests_received += 1
+                self._m_bytes_in.inc(size)
+                self._m_messages_in.inc()
                 self.sequence = (self.sequence + 1) & 0xFFFF
                 self.server.dispatch_request(self, message)
         except WireFormatError:
@@ -119,7 +153,20 @@ class ClientConnection:
         finally:
             self.server.client_disconnected(self)
 
-    # -- teardown --------------------------------------------------------------------------
+    # -- observability --------------------------------------------------------
+
+    def connection_stats(self) -> dict:
+        """This connection's wire statistics (stats snapshot / reply)."""
+        return {
+            "name": self.name,
+            "requests": self.requests_received,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "messages_out": self.messages_sent,
+            "queue_depth": self.queue_depth,
+        }
+
+    # -- teardown -------------------------------------------------------------
 
     def close(self) -> None:
         if self.closed:

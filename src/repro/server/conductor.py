@@ -47,18 +47,31 @@ class CommandQueue:
         self.program = QueueProgram()
         if self.server is not None:
             self.program.sample_rate = self.server.hub.sample_rate
+            metrics = self.server.metrics
+        else:
+            # Detached queues (unit tests) meter into the null registry.
+            from ..obs import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self._m_issued = metrics.counter("commands.issued")
+        self._m_immediate = metrics.counter("commands.immediate")
+        self._m_started = metrics.counter("commands.started")
+        self._m_completed = metrics.counter("commands.completed")
+        self._m_failed = metrics.counter("commands.failed")
         self.completed = 0
         self._was_empty = True
         self._pause_started: int | None = None
 
-    # -- issuing ------------------------------------------------------------------
+    # -- issuing --------------------------------------------------------------
 
     def issue(self, device_id: int, command: Command, mode: CommandMode,
               args: AttributeList, client=None) -> None:
         """IssueCommand entry point (dispatch thread, server lock held)."""
         if mode is CommandMode.IMMEDIATE:
+            self._m_immediate.inc()
             self._issue_immediate(device_id, command, args)
             return
+        self._m_issued.inc()
         leaf = self.program.add_command(device_id, command, args)
         if leaf is not None:
             leaf.issuer = client
@@ -86,7 +99,7 @@ class CommandQueue:
         now = self.server.hub.sample_time
         device.start_command(leaf, now)
 
-    # -- queue control ---------------------------------------------------------------
+    # -- queue control --------------------------------------------------------
 
     def control(self, op: QueueOp) -> None:
         now = self.server.hub.sample_time
@@ -149,7 +162,7 @@ class CommandQueue:
         self.state = QueueState.STARTED
         self._emit(EventCode.QUEUE_RESUMED, now)
 
-    # -- activation interplay (paper section 5.5) ----------------------------------------
+    # -- activation interplay (paper section 5.5) -----------------------------
 
     def server_pause(self) -> None:
         """"If a LOUD is made inactive while processing a command, the
@@ -166,7 +179,7 @@ class CommandQueue:
         if self.state is QueueState.SERVER_PAUSED:
             self._resume(self.server.hub.sample_time)
 
-    # -- the block cycle -----------------------------------------------------------------
+    # -- the block cycle ------------------------------------------------------
 
     def tick_pre(self, now: int, frames: int) -> None:
         """Start eligible commands; pre-issue predictable successors."""
@@ -212,11 +225,13 @@ class CommandQueue:
             return True
         leaf.handle = handle
         leaf.mark_running()
+        self._m_started.inc()
         return True
 
     def _report_failure(self, leaf: Leaf, error: ProtocolError,
                         now: int) -> None:
         self.completed += 1
+        self._m_failed.inc()
         self._emit(EventCode.COMMAND_DONE, now, detail=2, args=AttributeList({
             ev.ARG_COMMAND_SERIAL: int(leaf.serial),
             ev.ARG_COMMAND: int(leaf.command),
@@ -236,6 +251,7 @@ class CommandQueue:
                     leaf.complete(handle.finish_time
                                   if handle.finish_time is not None else now)
                 self.completed += 1
+                self._m_completed.inc()
                 self._emit(EventCode.COMMAND_DONE,
                            handle.finish_time or now,
                            detail=handle.status,
@@ -250,7 +266,7 @@ class CommandQueue:
         elif not self.program.is_empty:
             self._was_empty = False
 
-    # -- misc --------------------------------------------------------------------------------
+    # -- misc -----------------------------------------------------------------
 
     def _emit(self, code: EventCode, sample_time: int, detail: int = 0,
               args: AttributeList | None = None) -> None:

@@ -22,14 +22,16 @@ cycle; event delivery is queue-based so no client can stall audio.
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
+import time
 
 from ..dsp import encodings
 from ..dsp.tones import beep, busy_tone, dial_tone, ringback_tone
 from ..hardware.config import HardwareConfig
 from ..hardware.hub import AudioHub
-from ..protocol.errors import ProtocolError
+from ..obs import MetricsRegistry
 from ..protocol.setup import SetupReply, SetupRequest
 from ..protocol.types import MULAW_8K, PROTOCOL_MAJOR
 from ..protocol.wire import Message, WireFormatError
@@ -50,9 +52,22 @@ class AudioServer:
                  hub: AudioHub | None = None,
                  host: str = "127.0.0.1", port: int = 0,
                  realtime: bool = False,
-                 catalogue_dir: str | None = None) -> None:
+                 catalogue_dir: str | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.hub = hub or AudioHub(config, realtime=realtime)
         self.lock = threading.RLock()
+        # The observability plane.  REPRO_METRICS=0 turns instrumentation
+        # into no-ops machine-wide (for measuring the metering itself).
+        if metrics is None:
+            metrics = MetricsRegistry(
+                enabled=os.environ.get("REPRO_METRICS", "1") != "0")
+        self.metrics = metrics
+        self._started_at = time.monotonic()
+        self._m_blocks = metrics.counter("audio.blocks")
+        self._m_frames = metrics.counter("audio.frames")
+        self._m_active_louds = metrics.gauge("audio.active_louds")
+        self._m_clients = metrics.gauge("clients.connected")
+        self._m_accepted = metrics.counter("clients.accepted")
         self.resources = ResourceTable()
         self.events = EventRouter(self)
         self.stack = ActiveStack(self)
@@ -73,7 +88,7 @@ class AudioServer:
         self.hub.external_lock = self.lock
         self.hub.add_tick_callback(self._on_tick)
 
-    # -- construction -------------------------------------------------------------
+    # -- construction ---------------------------------------------------------
 
     def _build_device_loud(self) -> None:
         """Register the device LOUD and every physical device."""
@@ -113,11 +128,14 @@ class AudioServer:
             raise bad(ErrorCode.BAD_NAME,
                       "no catalogue %r" % name) from None
 
-    # -- the block cycle (runs in the hub thread, under the server lock) ------------
+    # -- the block cycle (runs in the hub thread, under the server lock) ------
 
     def _on_tick(self, sample_time: int, frames: int) -> None:
         with self.lock:
             active = self.stack.active_louds()
+            self._m_blocks.inc()
+            self._m_frames.inc(frames)
+            self._m_active_louds.set(len(active))
             for loud in active:
                 loud.queue.tick_pre(sample_time, frames)
             for loud in active:
@@ -129,7 +147,7 @@ class AudioServer:
             for loud in active:
                 loud.queue.tick_post(sample_time, frames)
 
-    # -- lifecycle ---------------------------------------------------------------------
+    # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> None:
         """Start the hub and the connection manager."""
@@ -173,7 +191,7 @@ class AudioServer:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    # -- connection management -------------------------------------------------------------
+    # -- connection management ------------------------------------------------
 
     def _accept_loop(self) -> None:
         while self._running:
@@ -202,6 +220,8 @@ class AudioServer:
                 self._clients.append(client)
         sock.sendall(SetupReply(True, id_base=id_base, id_mask=id_mask,
                                 vendor="repro desktop audio").encode())
+        self._m_accepted.inc()
+        self._m_clients.set(len(self.clients_snapshot()))
         client.start()
 
     def clients_snapshot(self) -> list[ClientConnection]:
@@ -234,4 +254,26 @@ class AudioServer:
         with self._clients_lock:
             if client in self._clients:
                 self._clients.remove(client)
+        self._m_clients.set(len(self.clients_snapshot()))
         client.close()
+
+    # -- observability --------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """The whole observability picture as one json-able dict.
+
+        The same structure backs the GET_SERVER_STATS reply, the
+        SIGUSR1/shutdown dump, and the benchmark harness's per-run
+        collection -- one snapshot, three consumers.
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["server"] = {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "sample_time": self.hub.sample_time,
+            "sample_rate": self.hub.sample_rate,
+            "block_frames": self.hub.block_frames,
+            "clients_connected": len(self.clients_snapshot()),
+        }
+        snapshot["clients"] = [client.connection_stats()
+                               for client in self.clients_snapshot()]
+        return snapshot

@@ -9,11 +9,12 @@ carrying the request's sequence number (paper section 4.1).
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..protocol import events as ev
 from ..protocol import requests as rq
 from ..protocol.attributes import AttributeList
 from ..protocol.errors import ProtocolError, bad
-from ..protocol.events import Event
 from ..protocol.types import (
     ErrorCode,
     EventCode,
@@ -71,26 +72,54 @@ class Dispatcher:
             OpCode.QUERY_AMBIENT_DOMAINS: self._query_ambient_domains,
             OpCode.GET_TIME: self._get_time,
             OpCode.NO_OPERATION: self._no_operation,
+            OpCode.GET_SERVER_STATS: self._get_server_stats,
         }
+        # Per-opcode instruments, resolved once: the dispatch path must
+        # not pay a registry lookup per request.
+        metrics = server.metrics
+        self._m_requests = {
+            int(opcode): metrics.counter("requests.%s" % opcode.name)
+            for opcode in self._handlers
+        }
+        self._m_latency = {
+            int(opcode): metrics.histogram("request_latency.%s" % opcode.name)
+            for opcode in self._handlers
+        }
+        self._m_errors = {
+            int(opcode): metrics.counter("request_errors.%s" % opcode.name)
+            for opcode in self._handlers
+        }
+        self._m_requests_total = metrics.counter("requests.total")
+        self._m_errors_total = metrics.counter("request_errors.total")
+        self._m_decode_errors = metrics.counter("request_errors.decode")
 
     def handle(self, client, message: Message) -> None:
         """Decode and execute one request; errors become error messages."""
+        started = perf_counter()
         try:
             request = rq.decode_request(message.code, message.payload)
         except WireFormatError as exc:
+            self._m_decode_errors.inc()
+            self._m_errors_total.inc()
             client.send_error(ProtocolError(
                 ErrorCode.BAD_REQUEST, client.sequence, message.code,
                 0, str(exc)))
             return
+        opcode = int(request.OPCODE)
         handler = self._handlers[request.OPCODE]
         try:
             handler(client, request)
         except ProtocolError as error:
             error.sequence = client.sequence
-            error.opcode = int(request.OPCODE)
+            error.opcode = opcode
+            self._m_errors[opcode].inc()
+            self._m_errors_total.inc()
             client.send_error(error)
+        self._m_requests[opcode].inc()
+        self._m_requests_total.inc()
+        self._m_latency[opcode].observe(perf_counter() - started)
 
-    # -- helpers -----------------------------------------------------------------
+    # -- helpers --------------------------------------------------------------
 
     def _loud(self, loud_id: int) -> Loud:
         return self.server.resources.get(loud_id, Loud, ErrorCode.BAD_LOUD)
@@ -106,7 +135,7 @@ class Dispatcher:
     def _wire(self, wire_id: int) -> Wire:
         return self.server.resources.get(wire_id, Wire, ErrorCode.BAD_WIRE)
 
-    # -- LOUD lifecycle -------------------------------------------------------------
+    # -- LOUD lifecycle -------------------------------------------------------
 
     def _create_loud(self, client, request: rq.CreateLoud) -> None:
         parent = None
@@ -231,7 +260,7 @@ class Dispatcher:
             wire.sink_device.device_id, wire.sink_port, wire.wire_type)
         client.send_reply(reply, client.sequence)
 
-    # -- sounds ---------------------------------------------------------------------------
+    # -- sounds ---------------------------------------------------------------
 
     def _create_sound(self, client, request: rq.CreateSound) -> None:
         sound = Sound(request.sound, request.sound_type)
@@ -279,7 +308,7 @@ class Dispatcher:
         sound = self._sound(request.sound)
         sound.make_stream(request.buffer_frames, request.low_water_frames)
 
-    # -- commands and queues --------------------------------------------------------------------
+    # -- commands and queues --------------------------------------------------
 
     def _issue_command(self, client, request: rq.IssueCommand) -> None:
         loud = self._loud(request.loud)
@@ -304,7 +333,7 @@ class Dispatcher:
         client.send_reply(rq.QueryQueueReply(state, pending, running,
                                              completed), client.sequence)
 
-    # -- events and properties ----------------------------------------------------------------------
+    # -- events and properties ------------------------------------------------
 
     def _select_events(self, client, request: rq.SelectEvents) -> None:
         if request.resource not in self.server.resources:
@@ -350,7 +379,7 @@ class Dispatcher:
             sample_time=self.server.hub.sample_time,
             args=AttributeList({ev.ARG_PROPERTY_NAME: name}))
 
-    # -- audio manager support ----------------------------------------------------------------------------
+    # -- audio manager support ------------------------------------------------
 
     def _set_redirect(self, client, request: rq.SetRedirect) -> None:
         if request.enabled:
@@ -381,7 +410,7 @@ class Dispatcher:
             raise bad(ErrorCode.BAD_VALUE,
                       "only map and restack can be allowed")
 
-    # -- server queries ----------------------------------------------------------------------------------------
+    # -- server queries -------------------------------------------------------
 
     def _query_server(self, client, request: rq.QueryServer) -> None:
         from ..protocol.types import Encoding
@@ -426,6 +455,24 @@ class Dispatcher:
         clock = self.server.hub.clock
         client.send_reply(rq.GetTimeReply(clock.sample_time,
                                           clock.seconds()), client.sequence)
+
+    def _get_server_stats(self, client, request: rq.GetServerStats) -> None:
+        snapshot = self.server.stats_snapshot()
+        reply = rq.GetServerStatsReply(
+            uptime_seconds=snapshot["server"]["uptime_seconds"],
+            sample_time=snapshot["server"]["sample_time"],
+            counters=snapshot["counters"],
+            gauges=snapshot["gauges"],
+            histograms={
+                name: rq.HistogramStat(hist["edges"], hist["counts"],
+                                       hist["sum"], hist["count"])
+                for name, hist in snapshot["histograms"].items()},
+            clients=[
+                rq.ClientStat(entry["name"], entry["requests"],
+                              entry["bytes_in"], entry["bytes_out"],
+                              entry["messages_out"], entry["queue_depth"])
+                for entry in snapshot["clients"]])
+        client.send_reply(reply, client.sequence)
 
     def _no_operation(self, client, request: rq.NoOperation) -> None:
         pass

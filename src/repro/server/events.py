@@ -16,7 +16,7 @@ from __future__ import annotations
 from ..protocol import events as ev
 from ..protocol.attributes import AttributeList
 from ..protocol.events import Event
-from ..protocol.types import EVENT_MASK_FOR_CODE, EventCode, EventMask
+from ..protocol.types import EVENT_MASK_FOR_CODE, EventCode
 
 
 class EventRouter:
@@ -26,6 +26,13 @@ class EventRouter:
         self.server = server
         self._hungry_streams: set[int] = set()
         self._announced_streams: set[int] = set()
+        metrics = server.metrics
+        self._m_emitted = {
+            code: metrics.counter("events.%s" % code.name)
+            for code in EventCode
+        }
+        self._m_emitted_total = metrics.counter("events.total")
+        self._m_delivered = metrics.counter("events.delivered")
 
     def emit(self, code: EventCode, resource: int, detail: int = 0,
              sample_time: int = 0, args: AttributeList | None = None,
@@ -39,6 +46,8 @@ class EventRouter:
         the event is solicited out-of-band (the audio manager's
         SetRedirect), so it is delivered without a selection check.
         """
+        self._m_emitted[code].inc()
+        self._m_emitted_total.inc()
         needed = EVENT_MASK_FOR_CODE[code]
         match_ids = (resource,) + also_match
         for client in self.server.clients_snapshot():
@@ -47,6 +56,7 @@ class EventRouter:
             if only_client is not None or any(
                     client.selection_for(match_id) & needed
                     for match_id in match_ids):
+                self._m_delivered.inc()
                 client.send_event(Event(
                     code, resource=resource, detail=detail,
                     sample_time=sample_time,

@@ -74,7 +74,7 @@ class Loud(PropertyStore):
                   "device %d is not in this LOUD tree" % device_id,
                   device_id)
 
-    # -- state save/restore across deactivation (paper section 5.4) ---------------
+    # -- state save/restore across deactivation (paper section 5.4) -----------
 
     def save_device_states(self) -> None:
         """"The state of the functional devices controlled by the LOUD
@@ -91,7 +91,7 @@ class Loud(PropertyStore):
             if saved is not None:
                 device.restore_state(saved)
 
-    # -- teardown --------------------------------------------------------------------
+    # -- teardown -------------------------------------------------------------
 
     def destroy(self) -> None:
         """Destroy this LOUD and its whole subtree."""

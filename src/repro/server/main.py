@@ -4,6 +4,10 @@ Usage::
 
     repro-audio-server [--port N] [--realtime] [--catalogue DIR]
                        [--speakerphone] [--rate HZ] [--block FRAMES]
+                       [--stats-interval SECONDS]
+
+SIGUSR1 dumps a stats snapshot to stderr at any time; one more snapshot
+is dumped at shutdown.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ import sys
 import threading
 
 from ..hardware.config import HardwareConfig
+from ..obs import StatsLogger
 from ..protocol.types import DEFAULT_PORT
 from .core import AudioServer
 
@@ -35,6 +40,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="device-layer sample rate (default 8000)")
     parser.add_argument("--block", type=int, default=160,
                         help="block size in frames (default 160 = 20 ms)")
+    parser.add_argument("--stats-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="dump a stats snapshot to stderr every "
+                             "SECONDS (also dumped on SIGUSR1 and at "
+                             "shutdown)")
     return parser
 
 
@@ -47,6 +57,8 @@ def main(argv: list[str] | None = None) -> int:
                          catalogue_dir=args.catalogue)
     server.start()
     print("audio server listening on %s:%d" % (server.host, server.port))
+    stats = StatsLogger(server, interval=args.stats_interval)
+    stats.start()
     stop = threading.Event()
 
     def handle_signal(_signum, _frame):
@@ -54,9 +66,13 @@ def main(argv: list[str] | None = None) -> int:
 
     signal.signal(signal.SIGINT, handle_signal)
     signal.signal(signal.SIGTERM, handle_signal)
+    if hasattr(signal, "SIGUSR1"):
+        signal.signal(signal.SIGUSR1, lambda _signum, _frame: stats.dump())
     try:
         stop.wait()
     finally:
+        stats.stop()
+        stats.dump()
         server.stop()
     return 0
 

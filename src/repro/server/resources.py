@@ -9,7 +9,7 @@ the physical devices it contains live there.
 
 from __future__ import annotations
 
-from ..protocol.errors import ProtocolError, bad
+from ..protocol.errors import bad
 from ..protocol.setup import ID_RANGE_SIZE
 from ..protocol.types import ErrorCode
 

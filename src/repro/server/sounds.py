@@ -51,7 +51,7 @@ class Sound(PropertyStore):
         self.stream_low_water = 0
         self.stream_ended = False
 
-    # -- stored-sound surface ---------------------------------------------------
+    # -- stored-sound surface -------------------------------------------------
 
     @property
     def byte_length(self) -> int:
@@ -141,7 +141,7 @@ class Sound(PropertyStore):
         self._data.extend(encodings.encode(samples, self.sound_type))
         self._decoded = None
 
-    # -- stream-sound surface ------------------------------------------------------
+    # -- stream-sound surface -------------------------------------------------
 
     def make_stream(self, capacity_frames: int, low_water_frames: int) -> None:
         if capacity_frames <= 0 or low_water_frames < 0:

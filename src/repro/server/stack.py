@@ -12,7 +12,6 @@ that is being used exclusively by another active LOUD."
 from __future__ import annotations
 
 from ..protocol.attributes import (
-    ATTR_AMBIENT_DOMAIN,
     ATTR_EXCLUSIVE_INPUT,
     ATTR_EXCLUSIVE_OUTPUT,
 )
@@ -42,7 +41,7 @@ class ActiveStack:
     def __len__(self) -> int:
         return len(self._stack)
 
-    # -- map / unmap / restack ----------------------------------------------------
+    # -- map / unmap / restack ------------------------------------------------
 
     def map_loud(self, loud: Loud) -> None:
         if not loud.is_root():
@@ -84,7 +83,7 @@ class ActiveStack:
             self._stack.append(loud)
         self.recompute()
 
-    # -- binding (paper section 5.3) ----------------------------------------------------
+    # -- binding (paper section 5.3) ------------------------------------------
 
     def _bind_tree(self, loud: Loud) -> None:
         """Bind every virtual device in the tree to a physical device.
@@ -153,7 +152,7 @@ class ActiveStack:
                               "wire %d crosses a hard-wired device boundary"
                               % wire.wire_id, wire.wire_id)
 
-    # -- activation (paper section 5.4) ------------------------------------------------------
+    # -- activation (paper section 5.4) ---------------------------------------
 
     def recompute(self) -> None:
         """Re-derive which LOUDs are active, top of stack first."""

@@ -113,12 +113,20 @@ class VirtualDevice:
         self.bound = None           # server-side PhysicalDevice wrapper
         self.gain = 1.0
         self.server = loud.server if loud is not None else None
+        if self.server is not None:
+            metrics = self.server.metrics
+        else:
+            from ...obs import NULL_REGISTRY as metrics
+        self._m_wire_frames = metrics.counter("audio.wire_frames")
+        self._m_frames_mixed = metrics.counter("audio.frames_mixed")
+        self._m_mixes = metrics.counter("audio.mix_operations")
+        self._m_underruns = metrics.counter("audio.stream_underruns")
         self._block_serial = -1
         self._render_cache: dict[int, np.ndarray] = {}
         self.handles: list[CommandHandle] = []
         self._build_ports()
 
-    # -- construction ----------------------------------------------------------
+    # -- construction ---------------------------------------------------------
 
     def _build_ports(self) -> None:
         """Subclasses populate ``self.ports``."""
@@ -157,7 +165,7 @@ class VirtualDevice:
                       self.device_id)
         return self.ports[index]
 
-    # -- wiring ------------------------------------------------------------------
+    # -- wiring ---------------------------------------------------------------
 
     def attach_wire(self, wire) -> None:
         self.wires.append(wire)
@@ -175,7 +183,7 @@ class VirtualDevice:
                 if wire.source_device is self
                 and wire.source_port == port_index]
 
-    # -- binding ------------------------------------------------------------------
+    # -- binding --------------------------------------------------------------
 
     def bind(self, physical) -> None:
         self.bound = physical
@@ -187,7 +195,7 @@ class VirtualDevice:
     def is_bound(self) -> bool:
         return self.bound is not None or self.BINDS_TO is None
 
-    # -- the block cycle -------------------------------------------------------------
+    # -- the block cycle ------------------------------------------------------
 
     def begin_tick(self, sample_time: int, frames: int) -> None:
         """Reset per-block memoization; called once per hub block."""
@@ -218,14 +226,18 @@ class VirtualDevice:
                   for wire in self.wires_into(port_index)]
         if not blocks:
             return np.zeros(frames, dtype=np.int16)
+        # Wire throughput: one counted block per wire feeding this sink.
+        self._m_wire_frames.inc(frames * len(blocks))
         if len(blocks) == 1 and len(blocks[0]) == frames:
             return blocks[0]
+        self._m_mixes.inc()
+        self._m_frames_mixed.inc(frames * len(blocks))
         return mix(blocks, length=frames)
 
     def consume(self, sample_time: int, frames: int) -> None:
         """Active sinks drive their pulls here (called when LOUD active)."""
 
-    # -- commands -----------------------------------------------------------------------
+    # -- commands -------------------------------------------------------------
 
     def start_command(self, leaf, at_time: int) -> CommandHandle:
         """Begin executing a command; returns its handle.
@@ -261,7 +273,7 @@ class VirtualDevice:
                         if not handle.finished]
         return finished
 
-    # -- immediate-mode operations ----------------------------------------------------------
+    # -- immediate-mode operations --------------------------------------------
 
     def stop_now(self, at_time: int) -> None:
         """Immediate Stop: cancel all in-flight commands on this device."""
@@ -279,7 +291,7 @@ class VirtualDevice:
             if not handle.finished:
                 handle.resume()
 
-    # -- activation state save/restore (paper section 5.4) ----------------------------------
+    # -- activation state save/restore (paper section 5.4) --------------------
 
     def save_state(self) -> dict:
         """State to restore when the LOUD is re-activated."""

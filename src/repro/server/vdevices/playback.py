@@ -164,6 +164,10 @@ class PlaybackProgram:
                 out[offset:offset + got] = chunk
                 item.frames_played += got
                 item.started_playing = True
+            if (got < room and item.started_playing
+                    and not item.stream_sound.stream_ended):
+                # The client fell behind the sample clock: an underrun.
+                self._m_underruns.inc()
             cursor_time = start + got
             self._notify_stream_state(item)
             if (item.stream_sound.stream_ended

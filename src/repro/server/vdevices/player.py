@@ -47,7 +47,7 @@ class PlayerDevice(VirtualDevice, PlaybackProgram):
     def _build_ports(self) -> None:
         self._add_port(PortDirection.SOURCE)
 
-    # -- commands --------------------------------------------------------------
+    # -- commands -------------------------------------------------------------
 
     def _start(self, leaf, at_time: int) -> CommandHandle:
         if leaf.command is Command.PLAY:
@@ -92,7 +92,7 @@ class PlayerDevice(VirtualDevice, PlaybackProgram):
             sample_time=at_time)
         return handle
 
-    # -- rendering ----------------------------------------------------------------
+    # -- rendering ------------------------------------------------------------
 
     def _render(self, port_index: int, sample_time: int,
                 frames: int) -> np.ndarray:

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import json
 
-import numpy as np
 
 from ...dsp.recognition import Recognizer, UtteranceDetector
 from ...protocol import events as ev

@@ -97,7 +97,7 @@ class RecorderDevice(VirtualDevice):
     def _build_ports(self) -> None:
         self._add_port(PortDirection.SINK)
 
-    # -- commands -----------------------------------------------------------------
+    # -- commands -------------------------------------------------------------
 
     def _start(self, leaf, at_time: int) -> CommandHandle:
         if leaf.command is Command.RECORD:
@@ -158,7 +158,7 @@ class RecorderDevice(VirtualDevice):
                   "ON_HANGUP termination needs a wired telephone",
                   self.device_id)
 
-    # -- the block cycle -------------------------------------------------------------
+    # -- the block cycle ------------------------------------------------------
 
     def consume(self, sample_time: int, frames: int) -> None:
         handle = self._active

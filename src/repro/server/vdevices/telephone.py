@@ -87,7 +87,7 @@ class TelephoneDevice(VirtualDevice):
         self._add_port(PortDirection.SOURCE)    # from the line
         self._add_port(PortDirection.SINK)      # to the line
 
-    # -- binding: hook up signaling --------------------------------------------------
+    # -- binding: hook up signaling -------------------------------------------
 
     def bind(self, physical) -> None:
         super().bind(physical)
@@ -120,7 +120,7 @@ class TelephoneDevice(VirtualDevice):
             return False
         return line.exchange.call_for(line) is not None
 
-    # -- signaling callbacks (relayed by the physical wrapper) -------------------------
+    # -- signaling callbacks (relayed by the physical wrapper) ----------------
 
     def on_ring_start(self, caller_info) -> None:
         args = AttributeList()
@@ -161,7 +161,7 @@ class TelephoneDevice(VirtualDevice):
             self, EventCode.CALL_PROGRESS, detail=int(progress),
             sample_time=self.server.hub.sample_time)
 
-    # -- commands -------------------------------------------------------------------------
+    # -- commands -------------------------------------------------------------
 
     def _start(self, leaf, at_time: int) -> CommandHandle:
         command = leaf.command
@@ -202,7 +202,7 @@ class TelephoneDevice(VirtualDevice):
             return handle
         return super()._start(leaf, at_time)
 
-    # -- the block cycle ---------------------------------------------------------------------
+    # -- the block cycle ------------------------------------------------------
 
     def _render(self, port_index: int, sample_time: int,
                 frames: int) -> np.ndarray:

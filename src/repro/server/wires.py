@@ -46,12 +46,28 @@ class Wire:
         self.sink_device = sink_device
         self.sink_port = sink_port
         self.wire_type = source.sound_type
+        self._destroyed = False
         source_device.attach_wire(self)
         sink_device.attach_wire(self)
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("wires.created").inc()
+            metrics.gauge("wires.active").inc()
+
+    def _metrics(self):
+        server = getattr(self.source_device, "server", None)
+        return server.metrics if server is not None else None
 
     def destroy(self) -> None:
         self.source_device.detach_wire(self)
         self.sink_device.detach_wire(self)
+        if self._destroyed:
+            return      # keep the active-wire gauge honest on re-destroys
+        self._destroyed = True
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("wires.destroyed").inc()
+            metrics.gauge("wires.active").dec()
 
     def other_end(self, device):
         if device is self.source_device:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .call import Call, CallState
-from .line import CallerInfo, HookState, Line
+from .line import HookState, Line
 
 
 class TelephoneExchange:
@@ -45,7 +45,7 @@ class TelephoneExchange:
         """Attach a scripted remote party (ticked with the exchange)."""
         self._parties.append(party)
 
-    # -- line signaling (called by Line) ---------------------------------------
+    # -- line signaling (called by Line) --------------------------------------
 
     def call_for(self, line: Line) -> Call | None:
         """The non-ended call this line is on, if any."""
@@ -105,7 +105,7 @@ class TelephoneExchange:
         else:
             other.far_end_hung_up()
 
-    # -- audio ------------------------------------------------------------------
+    # -- audio ----------------------------------------------------------------
 
     def route_audio(self, sender: Line, samples: np.ndarray) -> None:
         call = self.call_for(sender)
@@ -113,7 +113,7 @@ class TelephoneExchange:
             return
         call.other_party(sender).deliver_audio(samples)
 
-    # -- time -------------------------------------------------------------------
+    # -- time -----------------------------------------------------------------
 
     def tick(self, frames: int) -> None:
         """Advance exchange time by one block; run timers and parties."""

@@ -174,7 +174,7 @@ class SimulatedParty:
     def on_call_failed(self, reason: str) -> None:
         self.call_failed = True
 
-    # -- scripting --------------------------------------------------------------
+    # -- scripting ------------------------------------------------------------
 
     def heard_audio(self) -> np.ndarray:
         """Everything this party has heard, concatenated."""

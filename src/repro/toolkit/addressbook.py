@@ -12,7 +12,7 @@ by name.  Policy-free: the GUI on top is the application's business.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .components import PhoneDialer
 

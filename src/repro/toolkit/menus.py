@@ -9,7 +9,7 @@ event loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..alib.api import AudioClient, DeviceHandle, LoudHandle, SoundHandle

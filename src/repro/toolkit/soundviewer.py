@@ -69,7 +69,7 @@ class Soundviewer:
         viewer.recording = True
         return viewer
 
-    # -- event-driven updates -----------------------------------------------------
+    # -- event-driven updates -------------------------------------------------
 
     def handle_event(self, event: Event) -> bool:
         """Feed a server event; returns True if the display changed."""
@@ -91,7 +91,7 @@ class Soundviewer:
     def on_repaint(self, listener) -> None:
         self._listeners.append(listener)
 
-    # -- selection --------------------------------------------------------------------
+    # -- selection ------------------------------------------------------------
 
     def select(self, start_frame: int, end_frame: int) -> None:
         if not 0 <= start_frame < end_frame <= self.total_frames:
@@ -107,7 +107,7 @@ class Soundviewer:
             return None
         return (self.selection.start_frame, self.selection.end_frame)
 
-    # -- rendering ---------------------------------------------------------------------
+    # -- rendering ------------------------------------------------------------
 
     def _cell(self, index: int) -> str:
         frame_at = (index + 0.5) * self.total_frames / self.width

@@ -6,12 +6,10 @@ import time
 import pytest
 
 from repro.alib import AudioClient, ConnectionError_
-from repro.alib.connection import AudioConnection
 from repro.protocol.errors import ProtocolError
 from repro.protocol.requests import GetTime, NoOperation, QueryLoud
 from repro.protocol.types import ErrorCode, EventCode, EventMask
 
-from conftest import wait_for
 
 
 class TestConnectionLifecycle:
@@ -174,7 +172,6 @@ class TestEventQueue:
 
 class TestAuFileHelpers:
     def test_sound_from_au_and_save_au(self, server, client, tmp_path):
-        import numpy as np
 
         from repro.dsp import tones
         from repro.dsp.aufile import read_au, write_au

@@ -5,13 +5,11 @@ output stream); the server daemon is exercised as a real subprocess.
 """
 
 import io
-import os
 import signal
 import subprocess
 import sys
 import time
 
-import pytest
 
 from repro.alib.cli import main as control_main
 from repro.dsp import tones

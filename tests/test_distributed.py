@@ -5,7 +5,6 @@ expensive resources" (paper section 2) and the telephone network itself
 is the shared resource between workstations.
 """
 
-import numpy as np
 import pytest
 
 from repro.alib import AudioClient

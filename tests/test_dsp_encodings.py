@@ -35,7 +35,8 @@ class TestMulaw:
     def test_known_values(self):
         # Full positive scale encodes to 0x80, full negative to 0x00
         # (after the G.711 complement).
-        data = encodings.mulaw_encode(np.array([32767, -32768], dtype=np.int16))
+        data = encodings.mulaw_encode(
+            np.array([32767, -32768], dtype=np.int16))
         assert data[0] == 0x80
         assert data[1] == 0x00
 
@@ -125,7 +126,8 @@ class TestAdpcm:
         assert len(encoded) <= len(samples) * 2 // 4 + 16
 
     def test_empty(self):
-        assert len(adpcm_decode(adpcm_encode(np.zeros(0, dtype=np.int16)))) == 0
+        empty = adpcm_decode(adpcm_encode(np.zeros(0, dtype=np.int16)))
+        assert len(empty) == 0
         assert frames_in(0) == 0
 
     def test_frames_in(self):

@@ -12,8 +12,6 @@ import socket
 import struct
 import time
 
-import numpy as np
-import pytest
 
 from repro.alib import AudioClient
 from repro.dsp import tones

@@ -10,7 +10,6 @@ from repro.hardware import (
     CaptureBuffer,
     HardwareConfig,
     InjectedSource,
-    LineSpec,
     Room,
     SampleClock,
     two_speaker_config,

@@ -1,13 +1,11 @@
 """Tests for audio-manager redirection and policy."""
 
-import pytest
 
-from repro.manager import AudioManager, Policy, TelephonePriorityPolicy
+from repro.manager import AudioManager, TelephonePriorityPolicy
 from repro.protocol.types import (
     DeviceClass,
     ErrorCode,
     EventCode,
-    EventMask,
     StackPosition,
 )
 

@@ -1,0 +1,261 @@
+"""The observability plane: registry semantics and the stats request.
+
+Unit coverage for repro.obs (bucket edges, thread safety, no-op mode,
+snapshot shape) plus an end-to-end test that GET_SERVER_STATS, fetched
+over the real protocol, reflects the traffic that preceded it.
+"""
+
+import io
+import threading
+
+import numpy as np
+import pytest
+
+from repro.alib import AudioClient
+from repro.hardware import HardwareConfig
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsLogger,
+)
+from repro.obs.logger import format_snapshot
+from repro.protocol.types import DeviceClass, EventCode, EventMask
+from repro.server import AudioServer
+
+
+class TestCounterAndGauge:
+    def test_counter_counts(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter("c")
+        threads = [threading.Thread(
+            target=lambda: [counter.inc() for _ in range(10000)])
+            for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80000
+
+
+class TestHistogram:
+    def test_edges_are_inclusive_upper_bounds(self):
+        hist = Histogram("h", edges=(1.0, 2.0))
+        hist.observe(0.5)     # <= 1.0    -> bucket 0
+        hist.observe(1.0)     # == edge   -> bucket 0 (inclusive)
+        hist.observe(1.5)     # <= 2.0    -> bucket 1
+        hist.observe(2.0)     # == edge   -> bucket 1
+        hist.observe(99.0)    # overflow  -> bucket 2
+        assert hist.counts() == [2, 2, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(104.0)
+
+    def test_counts_always_reconcile(self):
+        hist = Histogram("h")
+        for value in (0.0, 0.0001, 0.003, 0.7, 5.0):
+            hist.observe(value)
+        counts = hist.counts()
+        assert len(counts) == len(DEFAULT_LATENCY_BUCKETS) + 1
+        assert sum(counts) == hist.count == 5
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(2.0, 1.0))
+
+    def test_quantile_is_edge_biased(self):
+        hist = Histogram("h", edges=(1.0, 2.0, 4.0))
+        for _ in range(99):
+            hist.observe(0.5)
+        hist.observe(3.0)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_concurrent_observes_are_not_lost(self):
+        hist = Histogram("h", edges=(0.5,))
+        threads = [threading.Thread(
+            target=lambda: [hist.observe(0.1) for _ in range(5000)])
+            for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count == 20000
+        assert hist.counts() == [20000, 0]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests.total").inc(3)
+        registry.gauge("clients.connected").set(2)
+        registry.histogram("latency").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"requests.total": 3}
+        assert snapshot["gauges"] == {"clients.connected": 2.0}
+        hist = snapshot["histograms"]["latency"]
+        assert hist["count"] == 1
+        assert sum(hist["counts"]) == 1
+
+    def test_disabled_registry_is_a_no_op(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x")
+        counter.inc(100)
+        registry.gauge("y").set(7)
+        registry.histogram("z").observe(1.0)
+        assert counter.value == 0
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+    def test_reset_forgets_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestStatsLogger:
+    def test_format_renders_every_section(self):
+        text = format_snapshot({
+            "server": {"uptime_seconds": 1.5, "sample_time": 800,
+                       "clients_connected": 1},
+            "counters": {"requests.total": 9},
+            "gauges": {"wires.active": 2},
+            "histograms": {"lat": {"count": 3, "sum": 0.3}},
+            "clients": [{"name": "app", "requests": 9, "bytes_in": 72,
+                         "bytes_out": 8, "queue_depth": 0}],
+        })
+        assert "requests.total" in text
+        assert "wires.active" in text
+        assert "n=3 mean=0.100000" in text
+        assert "client app" in text
+
+    def test_dump_survives_a_broken_server(self):
+        class Broken:
+            def stats_snapshot(self):
+                raise RuntimeError("boom")
+
+        out = io.StringIO()
+        StatsLogger(Broken(), out=out).dump()
+        assert "stats snapshot failed" in out.getvalue()
+
+    def test_periodic_dumps(self):
+        class Fake:
+            def stats_snapshot(self):
+                return {"counters": {"c": 1}, "gauges": {},
+                        "histograms": {}}
+
+        out = io.StringIO()
+        logger = StatsLogger(Fake(), interval=0.01, out=out)
+        logger.start()
+        try:
+            deadline = threading.Event()
+            deadline.wait(0.2)
+        finally:
+            logger.stop()
+        assert out.getvalue().count("-- server stats --") >= 1
+
+
+class TestServerStatsRequest:
+    def test_stats_reflect_real_traffic(self, server, client):
+        """Create a LOUD, play a sound, then read the numbers back."""
+        loud = client.create_loud()
+        player = loud.create_device(DeviceClass.PLAYER)
+        output = loud.create_device(DeviceClass.OUTPUT)
+        loud.wire(player, 0, output, 0)
+        loud.select_events(EventMask.QUEUE)
+        loud.map()
+        tone = (np.sin(np.linspace(0, 100, 8000))
+                * 8000).astype(np.int16)
+        sound = client.sound_from_samples(tone)
+        player.play(sound)
+        loud.start_queue()
+        done = client.wait_for_event(
+            lambda event: event.code is EventCode.COMMAND_DONE, timeout=30)
+        assert done is not None
+
+        reply = client.server_stats()
+        # Per-opcode request counters saw each setup request.
+        assert reply.counter("requests.CREATE_LOUD") == 1
+        assert reply.counter("requests.CREATE_VIRTUAL_DEVICE") == 2
+        assert reply.counter("requests.CREATE_WIRE") == 1
+        assert reply.counter("requests.ISSUE_COMMAND") == 1
+        assert reply.counter("requests.total") >= 6
+        # The latency histograms hold exactly one observation per request.
+        for name, histogram in reply.histograms.items():
+            opcode_name = name.split(".", 1)[1]
+            assert histogram.count == reply.counter(
+                "requests.%s" % opcode_name), name
+            assert sum(histogram.counts) == histogram.count
+        # Wire-level counters: real bytes moved in both directions.
+        assert reply.counter("net.bytes_in") > 0
+        assert reply.counter("net.bytes_out") > 0
+        assert reply.counter("net.events_sent") >= 1
+        # Audio plane: the wire carried frames, commands completed.
+        assert reply.counter("audio.wire_frames") > 0
+        assert reply.counter("wires.created") == 1
+        assert reply.counter("commands.completed") >= 1
+        assert reply.counter("events.COMMAND_DONE") >= 1
+        assert reply.gauges.get("clients.connected") == 1.0
+        # Per-client stats travelled too.
+        assert len(reply.clients) == 1
+        stat = reply.clients[0]
+        assert stat.name == "test"
+        # The stats request itself is counted at the socket the moment it
+        # is read, but enters requests.total only after its handler runs.
+        assert stat.requests == reply.counter("requests.total") + 1
+        assert stat.bytes_in > 0 and stat.bytes_out > 0
+
+    def test_snapshot_matches_wire_reply(self, server, client):
+        client.sync()
+        snapshot = server.stats_snapshot()
+        reply = client.server_stats()
+        for name, value in snapshot["counters"].items():
+            # Traffic continues between the two samples; wire counters
+            # can only grow.
+            assert reply.counter(name) >= value, name
+
+    def test_disabled_metrics_server_round_trips(self):
+        """REPRO_METRICS=0 semantics: the request works, the maps are
+        empty, and nothing crashes along the instrumented paths."""
+        audio_server = AudioServer(HardwareConfig(),
+                                   metrics=MetricsRegistry(enabled=False))
+        audio_server.start()
+        try:
+            audio_client = AudioClient(port=audio_server.port,
+                                       client_name="quiet")
+            try:
+                audio_client.sync()
+                reply = audio_client.server_stats()
+                assert reply.counters == {}
+                assert reply.histograms == {}
+                # Per-connection plain-int stats still work (they do not
+                # go through the registry).
+                assert reply.clients[0].requests > 0
+            finally:
+                audio_client.close()
+        finally:
+            audio_server.stop()

@@ -1,11 +1,10 @@
 """Cross-cutting property-based tests on core invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dsp import encodings, tones
+from repro.dsp import encodings
 from repro.dsp.aufile import read_au, write_au
 from repro.dsp.dtmf import DtmfDetector, generate_digits
 from repro.dsp.mixing import mix, saturate

@@ -1,7 +1,6 @@
 """Unit and property tests for the wire protocol layer."""
 
 import socket
-import threading
 
 import pytest
 from hypothesis import given, settings
@@ -47,7 +46,6 @@ from repro.protocol.types import (
     Command,
     CommandMode,
     DeviceClass,
-    Encoding,
     ErrorCode,
     EventCode,
     EventMask,
@@ -56,7 +54,6 @@ from repro.protocol.types import (
     OpCode,
     QueueOp,
     QueueState,
-    SoundType,
     StackPosition,
 )
 from repro.protocol.wire import (

@@ -1,7 +1,6 @@
 """Edge cases of queue semantics over the protocol."""
 
 import numpy as np
-import pytest
 
 from repro.dsp import tones
 from repro.protocol.types import (

@@ -1,10 +1,6 @@
 """Recording-progress sync events and the Soundviewer's record mode."""
 
-import numpy as np
-import pytest
 
-from repro.dsp import tones
-from repro.hardware import InjectedSource
 from repro.protocol import events as ev
 from repro.protocol.types import (
     DeviceClass,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.alib import AudioClient
-from repro.dsp import tones
 from repro.dsp.mixing import rms
 from repro.hardware import HardwareConfig, LineSpec, SpeakerSpec
 from repro.protocol.types import (

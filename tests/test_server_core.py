@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.alib import AudioClient
-from repro.dsp import encodings, tones
+from repro.dsp import tones
 from repro.protocol import requests as rq
 from repro.protocol.errors import ProtocolError
 from repro.protocol.types import (

@@ -8,7 +8,6 @@ synthesizer command surfaces, and client-supplied stream sounds.
 import json
 
 import numpy as np
-import pytest
 
 from repro.dsp import encodings, tones
 from repro.dsp.mixing import rms

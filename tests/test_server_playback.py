@@ -7,7 +7,6 @@ mixing at a shared speaker (section 2).
 """
 
 import numpy as np
-import pytest
 
 from repro.dsp import encodings, tones
 from repro.dsp.mixing import rms
@@ -105,7 +104,12 @@ class TestBasicPlayback:
         from repro.dsp.goertzel import goertzel_power
 
         output = captured(server)
-        assert goertzel_power(output, 440.0, RATE) > 1e4
+        # The free-running hub captures a varying amount of silence
+        # around the tone; measure the played region, not the padding.
+        nonzero = np.nonzero(output)[0]
+        assert len(nonzero) > 0, "nothing reached the speaker"
+        signal = output[nonzero[0]:nonzero[-1] + 1]
+        assert goertzel_power(signal, 440.0, RATE) > 1e4
 
     def test_play_emits_play_started_and_command_done(self, client, server):
         loud, player, _output = build_player(client)

@@ -1,7 +1,6 @@
 """Integration tests: recording from microphones, terminations, AGC."""
 
 import numpy as np
-import pytest
 
 from repro.dsp import tones
 from repro.dsp.mixing import rms
@@ -16,7 +15,6 @@ from repro.protocol.types import (
     RecordTermination,
 )
 
-from conftest import wait_for
 
 RATE = 8000
 

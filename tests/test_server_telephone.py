@@ -5,8 +5,6 @@ Figure 5-2, the wiring of Figure 5-3, the command queue of Figure 5-4,
 ring monitoring via the device LOUD, and the hangup exception path.
 """
 
-import numpy as np
-import pytest
 
 from repro.dsp import tones
 from repro.dsp.mixing import rms

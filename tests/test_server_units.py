@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 from repro.protocol.attributes import AttributeList
 from repro.protocol.errors import ProtocolError
 from repro.protocol.types import Command, MULAW_8K, PCM16_8K
-from repro.server.qprogram import Leaf, LeafState, QueueProgram
+from repro.server.qprogram import QueueProgram
 from repro.server.resources import FIRST_CLIENT_ID, ResourceTable
 from repro.server.sounds import Catalogue, Sound
 

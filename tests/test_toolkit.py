@@ -1,6 +1,5 @@
 """Tests for the toolkit: components, Soundviewer, menus, media sync."""
 
-import numpy as np
 import pytest
 
 from repro.dsp import tones
@@ -8,8 +7,8 @@ from repro.dsp.mixing import rms
 from repro.protocol import events as ev
 from repro.protocol.attributes import AttributeList
 from repro.protocol.events import Event
-from repro.protocol.types import EventCode, MULAW_8K, PCM16_8K
-from repro.telephony import Dial, SendDtmf, Wait, WaitForConnect, \
+from repro.protocol.types import EventCode, PCM16_8K
+from repro.telephony import Dial, SendDtmf, WaitForConnect, \
     WaitForSilence
 from repro.toolkit import (
     DesktopPlayer,

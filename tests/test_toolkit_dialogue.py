@@ -2,11 +2,9 @@
 and queue pause timing behaviour exposed at the toolkit level."""
 
 import numpy as np
-import pytest
 
 from repro.dsp import tones
 from repro.protocol.types import (
-    Command,
     DeviceClass,
     EventCode,
     EventMask,
@@ -24,7 +22,6 @@ from repro.telephony import (
 )
 from repro.toolkit import PromptAndRecord, TouchToneMenu, build_phone_menu
 
-from conftest import wait_for
 
 RATE = 8000
 
