@@ -60,6 +60,17 @@ def pytest_configure(config):
 
 
 def pytest_sessionfinish(session, exitstatus):
+    if harness.PERF_RESULTS:
+        path = os.path.join(str(session.config.rootdir), "BENCH_PERF.json")
+        try:
+            with open(path, "w") as handle:
+                json.dump({"fast_mode": harness.FAST,
+                           "results": harness.PERF_RESULTS},
+                          handle, indent=2)
+            print("\n%d perf result(s) written to %s"
+                  % (len(harness.PERF_RESULTS), path))
+        except OSError as exc:
+            print("\ncould not write %s: %s" % (path, exc))
     if harness.SESSION_STATS:
         path = os.path.join(str(session.config.rootdir), "BENCH_STATS.json")
         try:

@@ -58,6 +58,25 @@ def test_playback_start_latency(benchmark, report, block_frames):
         rig.close()
 
 
+def test_round_trip_latency_beats_delayed_ack(benchmark, report):
+    """With TCP_NODELAY set on both ends, a request/reply pair must not
+    wait out Nagle against the peer's delayed ACK: the mean round trip
+    has to come in far below the classic ~40 ms delayed-ACK timer."""
+    rig = make_rig()
+    try:
+        from repro.protocol.requests import GetTime
+
+        rig.client.sync()
+        benchmark(lambda: rig.client.conn.round_trip(GetTime()))
+        mean_ms = benchmark.stats.stats.mean * 1000.0
+        report.row("E1", "request/reply round trip (TCP_NODELAY)",
+                   "%.3f ms" % mean_ms, "<< 40 ms delayed-ACK timer")
+        assert mean_ms < 20.0, \
+            "round trip %.1f ms suggests Nagle/delayed-ACK stall" % mean_ms
+    finally:
+        rig.close()
+
+
 def test_latency_dominated_by_block_size(benchmark, report):
     """The ablation claim: latency tracks the block period, not the
     protocol -- smaller blocks, faster starts."""

@@ -30,7 +30,8 @@ from ..protocol.wire import (
     ConnectionClosed,
     Message,
     MessageKind,
-    read_message,
+    MessageStream,
+    set_nodelay,
     write_message,
 )
 
@@ -46,6 +47,7 @@ class AudioConnection:
                  client_name: str = "") -> None:
         self.sock = socket.create_connection((host, port), timeout=10.0)
         self.sock.settimeout(None)
+        set_nodelay(self.sock)
         self.sock.sendall(SetupRequest(client_name=client_name).encode())
         reply = SetupReply.read_from(self.sock)
         if not reply.accepted:
@@ -197,10 +199,11 @@ class AudioConnection:
     # -- the reader thread ----------------------------------------------------
 
     def _read_loop(self) -> None:
+        stream = MessageStream(self.sock)
         try:
             while not self.closed:
                 try:
-                    message = read_message(self.sock)
+                    message = stream.read_message()
                 except (ConnectionClosed, OSError):
                     break
                 self._handle_message(message)

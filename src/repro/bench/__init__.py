@@ -8,6 +8,7 @@ from .harness import (
     count_gap_samples,
     find_signal,
     make_rig,
+    record_perf,
     scaled,
     wait_queue_empty,
 )
@@ -15,6 +16,6 @@ from .workloads import marked_segments, speech_like, tone_seconds
 
 __all__ = [
     "FAST", "CpuMeter", "Rig", "build_playback_loud", "count_gap_samples",
-    "find_signal", "make_rig", "marked_segments", "scaled", "speech_like",
-    "tone_seconds", "wait_queue_empty",
+    "find_signal", "make_rig", "marked_segments", "record_perf", "scaled",
+    "speech_like", "tone_seconds", "wait_queue_empty",
 ]

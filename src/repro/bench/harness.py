@@ -37,6 +37,19 @@ SESSION_STATS: list[dict] = []
 #: snapshots can be attributed to their experiment.
 CURRENT_LABEL: str | None = None
 
+#: Machine-readable throughput results (name -> record with at least
+#: ``ops_per_sec``), filled by the perf benchmarks and written to
+#: BENCH_PERF.json by the benchmark conftest so CI can diff speedups
+#: across commits.
+PERF_RESULTS: dict[str, dict] = {}
+
+
+def record_perf(name: str, ops_per_sec: float, **extra) -> None:
+    """Register one throughput measurement for BENCH_PERF.json."""
+    record = {"ops_per_sec": round(float(ops_per_sec), 3)}
+    record.update(extra)
+    PERF_RESULTS[name] = record
+
 
 @dataclass
 class Rig:

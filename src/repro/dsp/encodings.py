@@ -5,9 +5,18 @@ The server's internal sample format is 16-bit linear PCM held in numpy
 (paper section 2: "it is useful to support multiple data representations
 at a level below the application").
 
-The mu-law and A-law implementations follow ITU-T G.711; they are exact
-table-free implementations validated against the standard's segment
-structure in the test suite.
+Two implementations live side by side:
+
+* the **reference** functions (``*_reference``) compute G.711 from the
+  ITU-T segment structure directly, with a 7-iteration exponent search;
+  they define correctness and are what the test suite validates against
+  the standard;
+* the **table-driven** fast path precomputes a 256-entry decode table
+  and a 65536-entry encode table from the reference functions at import
+  time and applies them with one ``np.take`` per call.  The fast path is
+  byte-identical to the reference across the whole int16 domain and all
+  256 code points (tests/test_dsp_fastpath.py), and is what the public
+  ``mulaw_*`` / ``alaw_*`` names dispatch to.
 """
 
 from __future__ import annotations
@@ -16,14 +25,14 @@ import numpy as np
 
 from ..protocol.types import Encoding, SoundType
 
-# --- mu-law ----------------------------------------------------------------
+# --- mu-law (reference) ----------------------------------------------------
 
 _MULAW_BIAS = 0x84
 _MULAW_CLIP = 32635
 
 
-def mulaw_encode(samples: np.ndarray) -> bytes:
-    """Encode int16 linear samples to 8-bit mu-law."""
+def mulaw_encode_reference(samples: np.ndarray) -> bytes:
+    """Encode int16 linear samples to 8-bit mu-law (segment search)."""
     pcm = np.asarray(samples, dtype=np.int32)
     sign = (pcm < 0).astype(np.uint8)
     magnitude = np.abs(pcm)
@@ -41,8 +50,8 @@ def mulaw_encode(samples: np.ndarray) -> bytes:
     return encoded.astype(np.uint8).tobytes()
 
 
-def mulaw_decode(data: bytes) -> np.ndarray:
-    """Decode 8-bit mu-law bytes to int16 linear samples."""
+def mulaw_decode_reference(data: bytes) -> np.ndarray:
+    """Decode 8-bit mu-law bytes to int16 linear samples (arithmetic)."""
     encoded = np.frombuffer(data, dtype=np.uint8).astype(np.int32)
     encoded = ~encoded & 0xFF
     sign = encoded >> 7
@@ -54,13 +63,13 @@ def mulaw_decode(data: bytes) -> np.ndarray:
     return samples.astype(np.int16)
 
 
-# --- A-law -----------------------------------------------------------------
+# --- A-law (reference) -----------------------------------------------------
 
 _ALAW_CLIP = 32635
 
 
-def alaw_encode(samples: np.ndarray) -> bytes:
-    """Encode int16 linear samples to 8-bit A-law."""
+def alaw_encode_reference(samples: np.ndarray) -> bytes:
+    """Encode int16 linear samples to 8-bit A-law (segment search)."""
     pcm = np.asarray(samples, dtype=np.int32)
     # Sign bit set means positive in A-law (before the 0x55 toggle).
     sign = np.where(pcm >= 0, 0x80, 0x00)
@@ -80,8 +89,8 @@ def alaw_encode(samples: np.ndarray) -> bytes:
     return encoded.astype(np.uint8).tobytes()
 
 
-def alaw_decode(data: bytes) -> np.ndarray:
-    """Decode 8-bit A-law bytes to int16 linear samples."""
+def alaw_decode_reference(data: bytes) -> np.ndarray:
+    """Decode 8-bit A-law bytes to int16 linear samples (arithmetic)."""
     encoded = np.frombuffer(data, dtype=np.uint8).astype(np.int32)
     encoded ^= 0x55
     sign = encoded & 0x80
@@ -93,6 +102,60 @@ def alaw_decode(data: bytes) -> np.ndarray:
         ((mantissa << 4) + 0x108) << (exponent - 1))
     samples = np.where(sign, magnitude, -magnitude)
     return samples.astype(np.int16)
+
+
+# --- table-driven fast path ------------------------------------------------
+
+_ALL_CODES = bytes(range(256))
+#: Every int16 value, ordered so that ``value.view(uint16)`` indexes it.
+_ALL_INT16 = np.arange(65536, dtype=np.uint16).view(np.int16)
+
+#: code byte -> linear sample, 256 entries.
+MULAW_DECODE_TABLE = mulaw_decode_reference(_ALL_CODES)
+ALAW_DECODE_TABLE = alaw_decode_reference(_ALL_CODES)
+
+#: int16 sample (viewed as uint16) -> code byte, 65536 entries.
+MULAW_ENCODE_TABLE = np.frombuffer(
+    mulaw_encode_reference(_ALL_INT16), dtype=np.uint8)
+ALAW_ENCODE_TABLE = np.frombuffer(
+    alaw_encode_reference(_ALL_INT16), dtype=np.uint8)
+
+for _table in (MULAW_DECODE_TABLE, ALAW_DECODE_TABLE,
+               MULAW_ENCODE_TABLE, ALAW_ENCODE_TABLE):
+    _table.flags.writeable = False
+
+
+def _encode_indices(samples: np.ndarray) -> np.ndarray:
+    """Samples as uint16 table indices, matching the reference clipping.
+
+    The reference encoders accept any integer array and clip magnitudes
+    at the G.711 ceiling; values outside int16 must therefore saturate
+    (not wrap) before the table lookup.
+    """
+    pcm = np.asarray(samples)
+    if pcm.dtype != np.int16:
+        pcm = np.clip(pcm, -32768, 32767).astype(np.int16)
+    return np.ascontiguousarray(pcm).view(np.uint16)
+
+
+def mulaw_encode(samples: np.ndarray) -> bytes:
+    """Encode int16 linear samples to 8-bit mu-law."""
+    return np.take(MULAW_ENCODE_TABLE, _encode_indices(samples)).tobytes()
+
+
+def mulaw_decode(data: bytes) -> np.ndarray:
+    """Decode 8-bit mu-law bytes to int16 linear samples."""
+    return np.take(MULAW_DECODE_TABLE, np.frombuffer(data, dtype=np.uint8))
+
+
+def alaw_encode(samples: np.ndarray) -> bytes:
+    """Encode int16 linear samples to 8-bit A-law."""
+    return np.take(ALAW_ENCODE_TABLE, _encode_indices(samples)).tobytes()
+
+
+def alaw_decode(data: bytes) -> np.ndarray:
+    """Decode 8-bit A-law bytes to int16 linear samples."""
+    return np.take(ALAW_DECODE_TABLE, np.frombuffer(data, dtype=np.uint8))
 
 
 # --- linear PCM ------------------------------------------------------------

@@ -13,6 +13,15 @@ section 4.1).  This module implements that layer:
 
 All integers are little-endian on the wire.  The tight definition makes the
 protocol independent of operating system, transport and language.
+
+The receive path avoids per-chunk allocation: :class:`MessageStream`
+owns one header buffer and one growable payload buffer per connection
+and fills them with ``recv_into`` on a ``memoryview``, so a message
+costs exactly one ``bytes`` materialization however many TCP segments
+carried it.  :class:`Writer` marshals into a single ``bytearray``
+instead of a chunk list, and :func:`set_nodelay` turns off Nagle on
+both ends of a connection (small request/reply messages must not wait
+out a delayed ACK).
 """
 
 from __future__ import annotations
@@ -60,48 +69,62 @@ class Message:
     payload: bytes
 
     def encode(self) -> bytes:
-        """Serialize header + payload to raw bytes."""
+        """Serialize header + payload to raw bytes (one buffer, no
+        intermediate concatenation)."""
         if len(self.payload) > MAX_PAYLOAD:
             raise WireFormatError(
                 "payload of %d bytes exceeds maximum" % len(self.payload))
-        header = HEADER.pack(
-            int(self.kind), self.code, self.sequence & 0xFFFF,
-            len(self.payload))
-        return header + self.payload
+        buffer = bytearray(HEADER_SIZE + len(self.payload))
+        HEADER.pack_into(buffer, 0, int(self.kind), self.code,
+                         self.sequence & 0xFFFF, len(self.payload))
+        buffer[HEADER_SIZE:] = self.payload
+        return bytes(buffer)
+
+
+# Precompiled marshalling structs, shared by Writer and Reader.
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I32 = struct.Struct("<i")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
 
 
 class Writer:
-    """Append-only buffer with typed put methods for payload marshalling."""
+    """Typed put methods marshalling into one append-only bytearray."""
+
+    __slots__ = ("_buffer",)
 
     def __init__(self) -> None:
-        self._chunks: list[bytes] = []
+        self._buffer = bytearray()
 
     def u8(self, value: int) -> "Writer":
-        self._chunks.append(struct.pack("<B", value))
+        self._buffer += _U8.pack(value)
         return self
 
     def u16(self, value: int) -> "Writer":
-        self._chunks.append(struct.pack("<H", value))
+        self._buffer += _U16.pack(value)
         return self
 
     def u32(self, value: int) -> "Writer":
-        self._chunks.append(struct.pack("<I", value))
+        self._buffer += _U32.pack(value)
         return self
 
     def u64(self, value: int) -> "Writer":
-        self._chunks.append(struct.pack("<Q", value))
+        self._buffer += _U64.pack(value)
         return self
 
     def i32(self, value: int) -> "Writer":
-        self._chunks.append(struct.pack("<i", value))
+        self._buffer += _I32.pack(value)
         return self
 
     def i64(self, value: int) -> "Writer":
-        self._chunks.append(struct.pack("<q", value))
+        self._buffer += _I64.pack(value)
         return self
 
     def f64(self, value: float) -> "Writer":
-        self._chunks.append(struct.pack("<d", value))
+        self._buffer += _F64.pack(value)
         return self
 
     def boolean(self, value: bool) -> "Writer":
@@ -111,22 +134,22 @@ class Writer:
         """Length-prefixed UTF-8 string."""
         raw = value.encode("utf-8")
         self.u32(len(raw))
-        self._chunks.append(raw)
+        self._buffer += raw
         return self
 
     def blob(self, value: bytes) -> "Writer":
         """Length-prefixed opaque bytes."""
         self.u32(len(value))
-        self._chunks.append(bytes(value))
+        self._buffer += value
         return self
 
     def raw(self, value: bytes) -> "Writer":
         """Bytes with no length prefix (caller knows the length)."""
-        self._chunks.append(bytes(value))
+        self._buffer += value
         return self
 
     def getvalue(self) -> bytes:
-        return b"".join(self._chunks)
+        return bytes(self._buffer)
 
 
 class Reader:
@@ -197,21 +220,90 @@ class Reader:
                 "%d unexpected trailing bytes in payload" % self.remaining())
 
 
-def recv_exact(sock: socket.socket, size: int) -> bytes:
-    """Read exactly ``size`` bytes or raise :class:`ConnectionClosed`."""
-    parts: list[bytes] = []
+def recv_exact_into(sock: socket.socket, view: memoryview,
+                    size: int) -> None:
+    """Fill ``view[:size]`` from the socket or raise
+    :class:`ConnectionClosed`.  No allocation per TCP segment."""
     got = 0
     while got < size:
-        chunk = sock.recv(size - got)
-        if not chunk:
+        received = sock.recv_into(view[got:size])
+        if received == 0:
             raise ConnectionClosed("peer closed the connection")
-        parts.append(chunk)
-        got += len(chunk)
-    return b"".join(parts)
+        got += received
+
+
+def recv_exact(sock: socket.socket, size: int) -> bytes:
+    """Read exactly ``size`` bytes or raise :class:`ConnectionClosed`."""
+    buffer = bytearray(size)
+    recv_exact_into(sock, memoryview(buffer), size)
+    return bytes(buffer)
+
+
+#: Payload buffers are reused between messages up to this size; larger
+#: payloads (bulk sound data) get a one-shot allocation so a single big
+#: transfer does not pin a big buffer for the connection's lifetime.
+_REUSE_LIMIT = 1 << 16
+
+
+class MessageStream:
+    """Framed-message reader owning reusable receive buffers.
+
+    One stream per reader thread: the 8-byte header and payloads up to
+    :data:`_REUSE_LIMIT` land in buffers allocated once, filled with
+    ``recv_into``, so each message costs exactly one ``bytes``
+    materialization (the payload handed to the parser, which may outlive
+    this read call) regardless of how many TCP segments carried it.
+    """
+
+    __slots__ = ("sock", "_header", "_header_view", "_payload",
+                 "_payload_view")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._header = bytearray(HEADER_SIZE)
+        self._header_view = memoryview(self._header)
+        self._payload = bytearray(4096)
+        self._payload_view = memoryview(self._payload)
+
+    def read_message(self) -> Message:
+        """Read one framed message (blocking)."""
+        recv_exact_into(self.sock, self._header_view, HEADER_SIZE)
+        kind, code, sequence, length = HEADER.unpack_from(self._header)
+        if length > MAX_PAYLOAD:
+            raise WireFormatError("declared payload of %d bytes too large"
+                                  % length)
+        try:
+            kind = MessageKind(kind)
+        except ValueError as exc:
+            raise WireFormatError("unknown message kind %d" % kind) from exc
+        if length == 0:
+            return Message(kind, code, sequence, b"")
+        if length <= _REUSE_LIMIT:
+            if length > len(self._payload):
+                self._payload = bytearray(length)
+                self._payload_view = memoryview(self._payload)
+            view = self._payload_view
+        else:
+            view = memoryview(bytearray(length))
+        recv_exact_into(self.sock, view, length)
+        return Message(kind, code, sequence, bytes(view[:length]))
+
+
+def set_nodelay(sock: socket.socket) -> None:
+    """Disable Nagle's algorithm; request/reply messages are small and
+    must not wait out the peer's delayed ACK."""
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass    # non-TCP transports (socketpair in tests) lack the option
 
 
 def read_message(sock: socket.socket) -> Message:
-    """Read one framed message from a socket (blocking)."""
+    """Read one framed message from a socket (blocking).
+
+    One-shot convenience; long-lived reader threads should hold a
+    :class:`MessageStream` to reuse receive buffers.
+    """
     header = recv_exact(sock, HEADER_SIZE)
     kind, code, sequence, length = HEADER.unpack(header)
     if length > MAX_PAYLOAD:

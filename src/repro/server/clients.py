@@ -27,8 +27,8 @@ from ..protocol.wire import (
     HEADER_SIZE,
     Message,
     MessageKind,
+    MessageStream,
     WireFormatError,
-    read_message,
     write_message,
 )
 
@@ -133,10 +133,11 @@ class ClientConnection:
     # -- inbound --------------------------------------------------------------
 
     def _read_loop(self) -> None:
+        stream = MessageStream(self.sock)
         try:
             while not self.closed:
                 try:
-                    message = read_message(self.sock)
+                    message = stream.read_message()
                 except (ConnectionClosed, OSError):
                     break
                 if message.kind is not MessageKind.REQUEST:

@@ -240,9 +240,15 @@ class CommandQueue:
         if issuer is not None:
             issuer.send_error(error)
 
-    def tick_post(self, now: int, frames: int) -> None:
-        """Collect device completions, emit events, advance the program."""
-        for device in self.loud.all_devices():
+    def tick_post(self, now: int, frames: int, devices=None) -> None:
+        """Collect device completions, emit events, advance the program.
+
+        ``devices`` is the render plan's cached flat device tuple; when
+        absent (detached queues, unit tests) the tree is walked.
+        """
+        if devices is None:
+            devices = self.loud.all_devices()
+        for device in devices:
             for handle in device.collect_finished():
                 leaf = handle.leaf
                 if not getattr(leaf, "queued", True):

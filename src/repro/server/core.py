@@ -22,6 +22,7 @@ cycle; event delivery is queue-based so no client can stall audio.
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import threading
@@ -34,15 +35,22 @@ from ..hardware.hub import AudioHub
 from ..obs import MetricsRegistry
 from ..protocol.setup import SetupReply, SetupRequest
 from ..protocol.types import MULAW_8K, PROTOCOL_MAJOR
-from ..protocol.wire import Message, WireFormatError
+from ..protocol.wire import (
+    ConnectionClosed,
+    Message,
+    WireFormatError,
+    set_nodelay,
+)
 from .clients import ClientConnection
 from .devices import build_wrappers
 from .dispatch import Dispatcher
 from .events import EventRouter
 from .loud import Loud
 from .resources import DEVICE_LOUD_ID, ResourceTable
-from .sounds import Catalogue
+from .sounds import Catalogue, DecodeCache
 from .stack import ActiveStack
+
+log = logging.getLogger(__name__)
 
 
 class AudioServer:
@@ -66,9 +74,21 @@ class AudioServer:
         self._m_blocks = metrics.counter("audio.blocks")
         self._m_frames = metrics.counter("audio.frames")
         self._m_active_louds = metrics.gauge("audio.active_louds")
+        self._m_plan_rebuilds = metrics.counter("renderplan.rebuilds")
+        self._m_plan_invalidations = metrics.counter(
+            "renderplan.invalidations")
+        self._m_plan_ticks = metrics.counter("renderplan.ticks")
         self._m_clients = metrics.gauge("clients.connected")
         self._m_accepted = metrics.counter("clients.accepted")
+        self._m_setup_refused = metrics.counter("clients.setup_refused")
         self.resources = ResourceTable()
+        #: Precompiled render plan: one (queue, devices) row per active
+        #: LOUD, flattened once and reused every block until a topology
+        #: mutation invalidates it.  None = rebuild on next tick.
+        self._render_plan: list[tuple] | None = None
+        #: Shared LRU of decoded sounds; dispatch attaches every sound a
+        #: client creates or loads, so repeat plays skip the codec.
+        self.decode_cache = DecodeCache(metrics=metrics)
         self.events = EventRouter(self)
         self.stack = ActiveStack(self)
         self.dispatcher = Dispatcher(self)
@@ -130,22 +150,42 @@ class AudioServer:
 
     # -- the block cycle (runs in the hub thread, under the server lock) ------
 
+    def invalidate_render_plan(self) -> None:
+        """Topology changed: the next tick re-derives the flat plan.
+
+        Called from every map/unmap/restack/activation change and every
+        device, wire or LOUD mutation; the call is two attribute writes,
+        so over-invalidating is always safe.
+        """
+        self._render_plan = None
+        self._m_plan_invalidations.inc()
+
+    def _build_render_plan(self) -> list[tuple]:
+        plan = [(loud.queue, tuple(loud.all_devices()))
+                for loud in self.stack.active_louds()]
+        self._render_plan = plan
+        self._m_plan_rebuilds.inc()
+        return plan
+
     def _on_tick(self, sample_time: int, frames: int) -> None:
         with self.lock:
-            active = self.stack.active_louds()
+            plan = self._render_plan
+            if plan is None:
+                plan = self._build_render_plan()
             self._m_blocks.inc()
             self._m_frames.inc(frames)
-            self._m_active_louds.set(len(active))
-            for loud in active:
-                loud.queue.tick_pre(sample_time, frames)
-            for loud in active:
-                for device in loud.all_devices():
+            self._m_active_louds.set(len(plan))
+            self._m_plan_ticks.inc()
+            for queue, _devices in plan:
+                queue.tick_pre(sample_time, frames)
+            for _queue, devices in plan:
+                for device in devices:
                     device.begin_tick(sample_time, frames)
-            for loud in active:
-                for device in loud.all_devices():
+            for _queue, devices in plan:
+                for device in devices:
                     device.consume(sample_time, frames)
-            for loud in active:
-                loud.queue.tick_post(sample_time, frames)
+            for queue, devices in plan:
+                queue.tick_post(sample_time, frames, devices)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -203,12 +243,23 @@ class AudioServer:
                              daemon=True).start()
 
     def _setup_client(self, sock: socket.socket) -> None:
+        set_nodelay(sock)
         try:
             setup = SetupRequest.read_from(sock)
-        except (WireFormatError, Exception):
+        except (WireFormatError, ConnectionClosed, OSError,
+                UnicodeDecodeError) as exc:
+            # A stream that does not open with a well-formed setup request
+            # is refused -- but only for the failures setup parsing can
+            # actually produce; anything else is a server bug and must
+            # propagate.
+            self._m_setup_refused.inc()
+            log.debug("refused connection setup: %s", exc)
             sock.close()
             return
         if setup.major != PROTOCOL_MAJOR:
+            self._m_setup_refused.inc()
+            log.debug("refused client %r: protocol version %d",
+                      setup.client_name, setup.major)
             sock.sendall(SetupReply(
                 False, reason="unsupported protocol version").encode())
             sock.close()

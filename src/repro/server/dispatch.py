@@ -176,6 +176,7 @@ class Dispatcher:
         if device.loud is not None and device in device.loud.devices:
             device.loud.devices.remove(device)
         self.server.resources.remove(request.device)
+        self.server.invalidate_render_plan()
 
     def _create_wire(self, client, request: rq.CreateWire) -> None:
         source = self._device(request.source_device)
@@ -264,6 +265,7 @@ class Dispatcher:
 
     def _create_sound(self, client, request: rq.CreateSound) -> None:
         sound = Sound(request.sound, request.sound_type)
+        sound.attach_cache(self.server.decode_cache)
         self.server.resources.add(client.id_base, request.sound, sound)
 
     def _destroy_sound(self, client, request: rq.DestroySound) -> None:
@@ -302,6 +304,7 @@ class Dispatcher:
     def _load_sound(self, client, request: rq.LoadSound) -> None:
         catalogue = self.server.catalogue(request.catalogue)
         sound = catalogue.load(request.name, request.sound)
+        sound.attach_cache(self.server.decode_cache)
         self.server.resources.add(client.id_base, request.sound, sound)
 
     def _set_sound_stream(self, client, request: rq.SetSoundStream) -> None:

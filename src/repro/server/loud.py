@@ -107,3 +107,4 @@ class Loud(PropertyStore):
         if self.parent is not None and self in self.parent.children:
             self.parent.children.remove(self)
         self.server.resources.remove(self.loud_id)
+        self.server.invalidate_render_plan()

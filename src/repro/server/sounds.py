@@ -16,7 +16,10 @@ Two kinds of sound live here:
 
 from __future__ import annotations
 
+import itertools
 import os
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -31,6 +34,87 @@ from .properties import PropertyStore
 #: instead of exhausting server memory.
 MAX_SOUND_BYTES = 64 << 20
 
+#: Default budget for the server-wide decoded-sound cache.
+DECODE_CACHE_BYTES = 32 << 20
+
+#: Process-unique tokens identifying Sound instances in the decode cache
+#: (resource ids can be reused across clients; these never are).
+_CACHE_TOKENS = itertools.count(1)
+
+
+class DecodeCache:
+    """Byte-bounded LRU of decoded linear-sample arrays.
+
+    Keyed by ``(sound token, version)``: every stored-data mutation bumps
+    the sound's version, so a stale entry can never be returned -- at
+    worst it lingers until evicted.  One cache serves the whole server;
+    players that replay the same sound (ringback, beeps, prompts) stop
+    re-decoding it every Play.
+    """
+
+    def __init__(self, max_bytes: int = DECODE_CACHE_BYTES,
+                 metrics=None) -> None:
+        if metrics is None:
+            from ..obs import NULL_REGISTRY as metrics
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[int, int], np.ndarray] = \
+            OrderedDict()
+        #: token -> currently cached key, so a rewrite evicts its
+        #: predecessor immediately instead of waiting for LRU pressure.
+        self._by_token: dict[int, tuple[int, int]] = {}
+        self._bytes = 0
+        self._m_hits = metrics.counter("sounds.decode_cache.hits")
+        self._m_misses = metrics.counter("sounds.decode_cache.misses")
+        self._m_evictions = metrics.counter("sounds.decode_cache.evictions")
+        self._m_bytes = metrics.gauge("sounds.decode_cache.bytes")
+
+    def get(self, sound: "Sound") -> np.ndarray:
+        key = (sound._cache_token, sound.version)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._m_hits.inc()
+                return cached
+        self._m_misses.inc()
+        decoded = encodings.decode(bytes(sound._data), sound.sound_type)
+        # Cached blocks are shared between concurrent plays: freeze them
+        # so an aliasing bug surfaces as an error, not corrupted audio.
+        decoded.flags.writeable = False
+        self._insert(key, decoded)
+        return decoded
+
+    def _insert(self, key: tuple[int, int], decoded: np.ndarray) -> None:
+        size = decoded.nbytes
+        with self._lock:
+            stale = self._by_token.get(key[0])
+            if stale is not None and stale != key:
+                self._drop(stale)
+            if key not in self._entries and size <= self.max_bytes:
+                self._entries[key] = decoded
+                self._by_token[key[0]] = key
+                self._bytes += size
+                while self._bytes > self.max_bytes and self._entries:
+                    self._drop(next(iter(self._entries)))
+                    self._m_evictions.inc()
+            self._m_bytes.set(self._bytes)
+
+    def _drop(self, key: tuple[int, int]) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry.nbytes
+        if self._by_token.get(key[0]) == key:
+            del self._by_token[key[0]]
+
+    def invalidate(self, sound: "Sound") -> None:
+        """Drop whatever is cached for a sound (its data changed)."""
+        with self._lock:
+            key = self._by_token.get(sound._cache_token)
+            if key is not None:
+                self._drop(key)
+                self._m_bytes.set(self._bytes)
+
 
 class Sound(PropertyStore):
     """One typed audio object in the server's data space."""
@@ -43,6 +127,11 @@ class Sound(PropertyStore):
         self.name = name
         self._data = bytearray()
         self._decoded: np.ndarray | None = None
+        #: Bumped on every stored-data mutation; part of the decode-cache
+        #: key, so a write can never serve stale samples.
+        self.version = 0
+        self._cache_token = next(_CACHE_TOKENS)
+        self._cache: DecodeCache | None = None
         # Stream mode state.
         self.is_stream = False
         self._stream_frames: list[np.ndarray] = []
@@ -50,6 +139,16 @@ class Sound(PropertyStore):
         self.stream_capacity = 0
         self.stream_low_water = 0
         self.stream_ended = False
+
+    def attach_cache(self, cache: DecodeCache) -> None:
+        """Join a server's shared decode cache (dispatch attaches this)."""
+        self._cache = cache
+
+    def _data_changed(self) -> None:
+        """Invalidate every decode cache after a stored-data mutation."""
+        self.version += 1
+        if self._cache is not None:
+            self._cache.invalidate(self)
 
     # -- stored-sound surface -------------------------------------------------
 
@@ -91,6 +190,7 @@ class Sound(PropertyStore):
                 self._data.extend(b"\x00" * (end - len(self._data)))
             self._data[offset:end] = data
         self._decoded = None
+        self._data_changed()
 
     def read_bytes(self, offset: int, length: int) -> bytes:
         if self.is_stream:
@@ -104,10 +204,18 @@ class Sound(PropertyStore):
         return bytes(self._data[offset:offset + length])
 
     def decoded(self) -> np.ndarray:
-        """The whole sound as linear int16 samples (cached)."""
-        if self._decoded is None:
-            self._decoded = encodings.decode(bytes(self._data),
-                                             self.sound_type)
+        """The whole sound as linear int16 samples (cached).
+
+        A locally held exact copy (the ADPCM recorder path) wins; sounds
+        attached to a server go through the shared LRU
+        :class:`DecodeCache`; detached sounds keep the per-object cache.
+        """
+        if self._decoded is not None:
+            return self._decoded
+        if self._cache is not None and not self.is_stream:
+            return self._cache.get(self)
+        self._decoded = encodings.decode(bytes(self._data),
+                                         self.sound_type)
         return self._decoded
 
     def read_frames(self, start_frame: int, count: int) -> np.ndarray:
@@ -137,9 +245,11 @@ class Sound(PropertyStore):
             from ..dsp.adpcm import adpcm_encode
 
             self._data = bytearray(adpcm_encode(self._decoded))
+            self._data_changed()
             return
         self._data.extend(encodings.encode(samples, self.sound_type))
         self._decoded = None
+        self._data_changed()
 
     # -- stream-sound surface -------------------------------------------------
 
@@ -158,6 +268,7 @@ class Sound(PropertyStore):
         self.is_stream = True
         self.stream_capacity = capacity_frames
         self.stream_low_water = min(low_water_frames, capacity_frames)
+        self._data_changed()
 
     def _stream_write(self, data: bytes) -> None:
         samples = encodings.decode(data, self.sound_type)

@@ -156,6 +156,9 @@ class ActiveStack:
 
     def recompute(self) -> None:
         """Re-derive which LOUDs are active, top of stack first."""
+        # Anything that lands here may have changed the active set or a
+        # LOUD's device bindings: drop the precompiled render plan.
+        self.server.invalidate_render_plan()
         exclusive_devices: set[int] = set()
         excluded_domain_class: set[tuple[str, DeviceClass]] = set()
         for loud in self._stack:

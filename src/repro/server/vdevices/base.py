@@ -125,6 +125,8 @@ class VirtualDevice:
         self._render_cache: dict[int, np.ndarray] = {}
         self.handles: list[CommandHandle] = []
         self._build_ports()
+        if self.server is not None:
+            self.server.invalidate_render_plan()
 
     # -- construction ---------------------------------------------------------
 

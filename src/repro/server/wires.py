@@ -49,6 +49,7 @@ class Wire:
         self._destroyed = False
         source_device.attach_wire(self)
         sink_device.attach_wire(self)
+        self._invalidate_plan()
         metrics = self._metrics()
         if metrics is not None:
             metrics.counter("wires.created").inc()
@@ -58,9 +59,15 @@ class Wire:
         server = getattr(self.source_device, "server", None)
         return server.metrics if server is not None else None
 
+    def _invalidate_plan(self) -> None:
+        server = getattr(self.source_device, "server", None)
+        if server is not None:
+            server.invalidate_render_plan()
+
     def destroy(self) -> None:
         self.source_device.detach_wire(self)
         self.sink_device.detach_wire(self)
+        self._invalidate_plan()
         if self._destroyed:
             return      # keep the active-wire gauge honest on re-destroys
         self._destroyed = True
