@@ -2,7 +2,11 @@
 
 from .api import AudioClient, DeviceHandle, LoudHandle, SoundHandle, \
     WireHandle
-from .connection import AudioConnection, ConnectionError_
+from .connection import AudioConnection, RetryPolicy
+from .errors import AlibDisconnected, AlibTimeout, ConnectionError_
+from .journal import SessionJournal
 
-__all__ = ["AudioClient", "AudioConnection", "ConnectionError_",
-           "DeviceHandle", "LoudHandle", "SoundHandle", "WireHandle"]
+__all__ = ["AlibDisconnected", "AlibTimeout", "AudioClient",
+           "AudioConnection", "ConnectionError_", "DeviceHandle",
+           "LoudHandle", "RetryPolicy", "SessionJournal", "SoundHandle",
+           "WireHandle"]

@@ -29,7 +29,7 @@ from ..protocol.types import (
     SoundType,
     StackPosition,
 )
-from .connection import AudioConnection
+from .connection import AudioConnection, RetryPolicy
 
 
 def _attrs(attributes: dict | AttributeList | None) -> AttributeList:
@@ -41,11 +41,25 @@ def _attrs(attributes: dict | AttributeList | None) -> AttributeList:
 
 
 class AudioClient:
-    """A connected application: the root of the Alib object surface."""
+    """A connected application: the root of the Alib object surface.
+
+    ``reconnect=True`` turns on the resilience layer: the connection
+    journals durable session state and, if the stream drops, reconnects
+    with backoff, resumes its resource-id range, and replays the journal
+    so every handle this client holds stays valid (docs/RELIABILITY.md).
+    ``retry`` supplies a :class:`~repro.alib.connection.RetryPolicy` for
+    idempotent round-trips (reconnecting clients get a default one).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7310,
-                 client_name: str = "") -> None:
-        self.conn = AudioConnection(host, port, client_name)
+                 client_name: str = "", *, reconnect: bool = False,
+                 retry: RetryPolicy | None = None,
+                 request_timeout: float = 10.0,
+                 on_reconnect=None) -> None:
+        self.conn = AudioConnection(host, port, client_name,
+                                    reconnect=reconnect, retry=retry,
+                                    request_timeout=request_timeout,
+                                    on_reconnect=on_reconnect)
 
     # -- server-level queries -------------------------------------------------
 

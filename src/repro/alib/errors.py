@@ -1,0 +1,60 @@
+"""Typed Alib transport errors.
+
+The paper treats the byte stream as reliable, but a distributed
+deployment is not: connections time out, stall, and drop.  Alib
+surfaces those conditions with two typed errors that always carry the
+in-flight request's name, opcode, and elapsed time, so a caller (or a
+retry policy) can decide what is safe to do next.
+
+Both errors remain catchable through the interfaces applications
+already use: :class:`AlibTimeout` is a :class:`TimeoutError` and
+:class:`AlibDisconnected` is a :class:`ConnectionError_`.
+"""
+
+from __future__ import annotations
+
+
+class ConnectionError_(Exception):
+    """The connection to the audio server was refused or lost."""
+
+
+def _describe(prefix: str, request_name: str | None, opcode: int | None,
+              elapsed: float | None) -> str:
+    details = []
+    if request_name:
+        details.append("request=%s" % request_name)
+    if opcode is not None:
+        details.append("opcode=%d" % opcode)
+    if elapsed is not None:
+        details.append("elapsed=%.3fs" % elapsed)
+    if not details:
+        return prefix
+    return "%s [%s]" % (prefix, " ".join(details))
+
+
+class AlibTimeout(ConnectionError_, TimeoutError):
+    """No reply arrived within the request's deadline.
+
+    The connection itself may still be healthy; an idempotent request
+    can safely be retried (and :class:`RetryPolicy` does).
+    """
+
+    def __init__(self, message: str, *, request_name: str | None = None,
+                 opcode: int | None = None,
+                 elapsed: float | None = None) -> None:
+        super().__init__(_describe(message, request_name, opcode, elapsed))
+        self.request_name = request_name
+        self.opcode = opcode
+        self.elapsed = elapsed
+
+
+class AlibDisconnected(ConnectionError_):
+    """The connection dropped (possibly with a request in flight)."""
+
+    def __init__(self, message: str, *, request_name: str | None = None,
+                 opcode: int | None = None,
+                 elapsed: float | None = None) -> None:
+        super().__init__(_describe(message, request_name, opcode, elapsed))
+        self.request_name = request_name
+        self.opcode = opcode
+        self.elapsed = elapsed

@@ -1,0 +1,164 @@
+"""The client-side session journal.
+
+A reconnecting client must be able to rebuild its server-side session
+after a drop: the LOUDs, devices and wires it created, the sounds it
+uploaded, its event selections, map state, and queue run-state.  The
+journal records the *requests that created durable session state* as
+they are sent, keyed by resource, so that a reconnect can replay them
+verbatim against the resumed id range.
+
+What is journaled (and what is not):
+
+* CreateLoud / CreateVirtualDevice / CreateWire -- structure;
+* CreateSound / LoadSound / WriteSoundData / SetSoundStream -- content
+  (sound data is capped; see ``data_cap_bytes``);
+* SelectEvents -- one entry per resource, NONE removes it;
+* MapLoud / UnmapLoud -- map state;
+* ControlQueue START / RESUME / PAUSE -- queue run-state (STOP and
+  FLUSH clear it);
+* Destroy* -- removes the resource's entries and everything that
+  depended on it (a destroyed LOUD takes its devices, wires and
+  selections with it, exactly as the server does).
+
+Transient requests (IssueCommand, property changes, queries) are not
+journaled: a replayed session comes back with its structure, sounds and
+selections intact but an empty command queue.
+"""
+
+from __future__ import annotations
+
+from ..protocol import requests as rq
+from ..protocol.types import EventMask, QueueOp
+
+#: Journal keys are (kind, resource id) tuples; kind orders nothing --
+#: insertion order is replay order.
+_Key = tuple[str, int]
+
+
+class SessionJournal:
+    """Ordered, keyed record of the requests that define a session."""
+
+    def __init__(self, data_cap_bytes: int = 32 << 20) -> None:
+        #: key -> list of requests replayed in insertion order.
+        self._entries: dict[_Key, list[rq.Request]] = {}
+        #: resource id -> keys that must vanish when it is destroyed.
+        self._dependents: dict[int, list[_Key]] = {}
+        self.data_cap_bytes = data_cap_bytes
+        self.data_bytes = 0
+        #: Sounds whose data outgrew the cap: recreated empty on replay.
+        self.unreplayable_sounds: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, request: rq.Request) -> None:
+        """Note one outgoing request, if it carries durable state."""
+        if isinstance(request, rq.CreateLoud):
+            self._add(("loud", request.loud), request,
+                      depends_on=(request.parent,) if request.parent else ())
+        elif isinstance(request, rq.CreateVirtualDevice):
+            self._add(("device", request.device), request,
+                      depends_on=(request.loud,))
+        elif isinstance(request, rq.CreateWire):
+            self._add(("wire", request.wire), request,
+                      depends_on=(request.source_device,
+                                  request.sink_device))
+        elif isinstance(request, (rq.CreateSound, rq.LoadSound)):
+            self._add(("sound", request.sound), request)
+        elif isinstance(request, rq.WriteSoundData):
+            self._add_sound_data(request)
+        elif isinstance(request, rq.SetSoundStream):
+            self._add(("stream", request.sound), request,
+                      depends_on=(request.sound,), replace=True)
+        elif isinstance(request, rq.SelectEvents):
+            if request.mask == EventMask.NONE:
+                self._entries.pop(("selection", request.resource), None)
+            else:
+                self._add(("selection", request.resource), request,
+                          depends_on=(request.resource,), replace=True)
+        elif isinstance(request, rq.MapLoud):
+            self._add(("map", request.loud), request,
+                      depends_on=(request.loud,), replace=True)
+        elif isinstance(request, rq.UnmapLoud):
+            self._entries.pop(("map", request.loud), None)
+        elif isinstance(request, rq.ControlQueue):
+            if request.op in (QueueOp.START, QueueOp.RESUME, QueueOp.PAUSE):
+                self._add(("queue", request.loud), request,
+                          depends_on=(request.loud,), replace=True)
+            elif request.op is QueueOp.STOP:
+                self._entries.pop(("queue", request.loud), None)
+        elif isinstance(request, rq.DestroyLoud):
+            self._remove_resource(request.loud, "loud")
+        elif isinstance(request, rq.DestroyVirtualDevice):
+            self._remove_resource(request.device, "device")
+        elif isinstance(request, rq.DestroyWire):
+            self._remove_resource(request.wire, "wire")
+        elif isinstance(request, rq.DestroySound):
+            self._remove_resource(request.sound, "sound")
+
+    def _add(self, key: _Key, request: rq.Request,
+             depends_on: tuple[int, ...] = (),
+             replace: bool = False) -> None:
+        if replace:
+            # Latest state wins *and* replays last, after whatever
+            # structure has been created since the previous setting.
+            self._entries.pop(key, None)
+        self._entries.setdefault(key, []).append(request)
+        for resource in depends_on:
+            dependents = self._dependents.setdefault(resource, [])
+            if key not in dependents:
+                dependents.append(key)
+
+    def _add_sound_data(self, request: rq.WriteSoundData) -> None:
+        if request.sound in self.unreplayable_sounds:
+            return
+        key = ("sound", request.sound)
+        if key not in self._entries:
+            return      # data for a sound this session did not create
+        if self.data_bytes + len(request.data) > self.data_cap_bytes:
+            # Over the cap: stop carrying this sound's data entirely so
+            # a replay never silently restores half a sound.
+            for entry in self._entries[key]:
+                if isinstance(entry, rq.WriteSoundData):
+                    self.data_bytes -= len(entry.data)
+            self._entries[key][:] = [
+                entry for entry in self._entries[key]
+                if not isinstance(entry, rq.WriteSoundData)]
+            self.unreplayable_sounds.add(request.sound)
+            return
+        self._entries[key].append(request)
+        self.data_bytes += len(request.data)
+
+    def _remove_resource(self, resource: int, kind: str) -> None:
+        self._drop_key((kind, resource))
+        self._entries.pop(("selection", resource), None)
+        if kind == "loud":
+            self._entries.pop(("map", resource), None)
+            self._entries.pop(("queue", resource), None)
+        if kind == "sound":
+            self._entries.pop(("stream", resource), None)
+        for key in self._dependents.pop(resource, []):
+            if key in self._entries:
+                dependent_kind, dependent_id = key
+                if dependent_kind in ("loud", "device", "wire", "sound"):
+                    self._remove_resource(dependent_id, dependent_kind)
+                else:
+                    self._drop_key(key)
+
+    def _drop_key(self, key: _Key) -> None:
+        entries = self._entries.pop(key, None)
+        if entries:
+            for entry in entries:
+                if isinstance(entry, rq.WriteSoundData):
+                    self.data_bytes -= len(entry.data)
+
+    # -- replay ---------------------------------------------------------------
+
+    def replay_requests(self) -> list[rq.Request]:
+        """Every journaled request, in original send order."""
+        ordered: list[rq.Request] = []
+        for entries in self._entries.values():
+            ordered.extend(entries)
+        return ordered

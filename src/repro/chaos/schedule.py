@@ -1,0 +1,125 @@
+"""Deterministic, seeded fault schedules.
+
+A :class:`FaultSchedule` is the *policy* half of the chaos harness: for
+every chunk of bytes the proxy is about to forward it produces one
+:class:`Decision` -- how long to delay, whether to truncate the chunk,
+whether to reset or partition the link.  All randomness comes from one
+``random.Random(seed)``, consumed in decision order, so a given seed
+always produces the same fault sequence for the same traffic pattern --
+a chaos failure seen in CI replays exactly on a laptop.
+
+Deterministic one-shot triggers (``reset_after_bytes``) complement the
+probabilistic knobs for tests that need a fault at an exact point in
+the byte stream regardless of seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Pump directions: client-to-server and server-to-client.
+UP = "up"
+DOWN = "down"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What the proxy should do to one chunk about to be forwarded."""
+
+    #: Seconds to sleep before forwarding (latency + jitter + throttle).
+    delay: float = 0.0
+    #: Forward only this many bytes, then discard the rest of the chunk
+    #: (None = forward everything).  Truncation corrupts framing by
+    #: design: the receiver sees a clean prefix and then silence.
+    truncate: int | None = None
+    #: Hard-close both halves of the link mid-message.
+    reset: bool = False
+    #: Stop forwarding in both directions for ``partition_seconds``.
+    partition: bool = False
+
+
+class FaultSchedule:
+    """Seeded decision stream for one proxied link (or many).
+
+    The knobs compose: every chunk gets latency; throttling adds
+    byte-proportional delay; truncation, resets and partitions fire
+    probabilistically (or at an exact byte offset via
+    ``reset_after_bytes``).  A schedule with all defaults is a clean
+    passthrough -- chaos is strictly opt-in per knob.
+    """
+
+    def __init__(self, seed: int = 0, *,
+                 latency: float = 0.0,
+                 jitter: float = 0.0,
+                 throttle_bytes_per_sec: float | None = None,
+                 truncate_probability: float = 0.0,
+                 reset_probability: float = 0.0,
+                 partition_probability: float = 0.0,
+                 partition_seconds: float = 0.1,
+                 reset_after_bytes: dict[str, int] | None = None,
+                 max_resets: int | None = None) -> None:
+        self.seed = seed
+        self.latency = latency
+        self.jitter = jitter
+        self.throttle_bytes_per_sec = throttle_bytes_per_sec
+        self.truncate_probability = truncate_probability
+        self.reset_probability = reset_probability
+        self.partition_probability = partition_probability
+        self.partition_seconds = partition_seconds
+        #: Direction -> byte offset past which exactly one reset fires.
+        self.reset_after_bytes = dict(reset_after_bytes or {})
+        self.max_resets = max_resets
+        self._rng = random.Random(seed)
+        self._bytes: dict[str, int] = {UP: 0, DOWN: 0}
+        self._resets_fired = 0
+
+    def decide(self, direction: str, nbytes: int) -> Decision:
+        """One decision for ``nbytes`` about to flow in ``direction``."""
+        self._bytes[direction] = self._bytes.get(direction, 0) + nbytes
+        delay = 0.0
+        if self.latency or self.jitter:
+            delay += self.latency + self.jitter * self._rng.random()
+        if self.throttle_bytes_per_sec:
+            delay += nbytes / self.throttle_bytes_per_sec
+        threshold = self.reset_after_bytes.get(direction)
+        if threshold is not None and self._bytes[direction] >= threshold:
+            del self.reset_after_bytes[direction]
+            self._resets_fired += 1
+            return Decision(delay=delay, reset=True)
+        truncate = None
+        if self.truncate_probability and \
+                self._rng.random() < self.truncate_probability:
+            truncate = self._rng.randrange(nbytes) if nbytes > 1 else 0
+        reset = False
+        if self.reset_probability and self._reset_allowed() and \
+                self._rng.random() < self.reset_probability:
+            self._resets_fired += 1
+            reset = True
+        partition = False
+        if self.partition_probability and \
+                self._rng.random() < self.partition_probability:
+            partition = True
+        return Decision(delay=delay, truncate=truncate, reset=reset,
+                        partition=partition)
+
+    def _reset_allowed(self) -> bool:
+        return self.max_resets is None or self._resets_fired < self.max_resets
+
+    def fingerprint(self, traffic: list[tuple[str, int]]) -> list[Decision]:
+        """The decision sequence this schedule yields for ``traffic``.
+
+        Purely functional over a *fresh copy* of the schedule -- used by
+        tests to prove seed determinism without touching live state.
+        """
+        clone = FaultSchedule(
+            self.seed, latency=self.latency, jitter=self.jitter,
+            throttle_bytes_per_sec=self.throttle_bytes_per_sec,
+            truncate_probability=self.truncate_probability,
+            reset_probability=self.reset_probability,
+            partition_probability=self.partition_probability,
+            partition_seconds=self.partition_seconds,
+            reset_after_bytes=self.reset_after_bytes,
+            max_resets=self.max_resets)
+        return [clone.decide(direction, nbytes)
+                for direction, nbytes in traffic]

@@ -55,6 +55,9 @@ class Request:
 
     OPCODE: OpCode
     REPLY: type | None = None
+    #: True when resending the request cannot change server state (pure
+    #: queries).  Alib's retry policy only ever retries these.
+    IDEMPOTENT: bool = False
 
     def write_payload(self, writer: Writer) -> None:
         raise NotImplementedError
@@ -314,6 +317,7 @@ class QueryLoudReply(Reply):
 @dataclass
 class QueryLoud(Request):
     OPCODE = OpCode.QUERY_LOUD
+    IDEMPOTENT = True
     REPLY = QueryLoudReply
 
     loud: int
@@ -372,6 +376,7 @@ class QueryVirtualDeviceReply(Reply):
 @dataclass
 class QueryVirtualDevice(Request):
     OPCODE = OpCode.QUERY_VIRTUAL_DEVICE
+    IDEMPOTENT = True
     REPLY = QueryVirtualDeviceReply
 
     device: int
@@ -430,6 +435,7 @@ class QueryWireReply(Reply):
 @dataclass
 class QueryWire(Request):
     OPCODE = OpCode.QUERY_WIRE
+    IDEMPOTENT = True
     REPLY = QueryWireReply
 
     wire: int
@@ -513,6 +519,7 @@ class ReadSoundDataReply(Reply):
 @dataclass
 class ReadSoundData(Request):
     OPCODE = OpCode.READ_SOUND_DATA
+    IDEMPOTENT = True
     REPLY = ReadSoundDataReply
 
     sound: int
@@ -553,6 +560,7 @@ class QuerySoundReply(Reply):
 @dataclass
 class QuerySound(Request):
     OPCODE = OpCode.QUERY_SOUND
+    IDEMPOTENT = True
     REPLY = QuerySoundReply
 
     sound: int
@@ -584,6 +592,7 @@ class ListCatalogue(Request):
     """List the named sounds in a server-side catalogue."""
 
     OPCODE = OpCode.LIST_CATALOGUE
+    IDEMPOTENT = True
     REPLY = ListCatalogueReply
 
     catalogue: str = ""
@@ -714,6 +723,7 @@ class QueryQueueReply(Reply):
 @dataclass
 class QueryQueue(Request):
     OPCODE = OpCode.QUERY_QUEUE
+    IDEMPOTENT = True
     REPLY = QueryQueueReply
 
     loud: int
@@ -796,6 +806,7 @@ class GetPropertyReply(Reply):
 @dataclass
 class GetProperty(Request):
     OPCODE = OpCode.GET_PROPERTY
+    IDEMPOTENT = True
     REPLY = GetPropertyReply
 
     resource: int
@@ -843,6 +854,7 @@ class ListPropertiesReply(Reply):
 @dataclass
 class ListProperties(Request):
     OPCODE = OpCode.LIST_PROPERTIES
+    IDEMPOTENT = True
     REPLY = ListPropertiesReply
 
     resource: int
@@ -940,6 +952,7 @@ class QueryServerReply(Reply):
 @dataclass
 class QueryServer(Request):
     OPCODE = OpCode.QUERY_SERVER
+    IDEMPOTENT = True
     REPLY = QueryServerReply
 
     def write_payload(self, writer: Writer) -> None:
@@ -999,6 +1012,7 @@ class QueryDeviceLoudReply(Reply):
 @dataclass
 class QueryDeviceLoud(Request):
     OPCODE = OpCode.QUERY_DEVICE_LOUD
+    IDEMPOTENT = True
     REPLY = QueryDeviceLoudReply
 
     def write_payload(self, writer: Writer) -> None:
@@ -1035,6 +1049,7 @@ class QueryAmbientDomainsReply(Reply):
 @dataclass
 class QueryAmbientDomains(Request):
     OPCODE = OpCode.QUERY_AMBIENT_DOMAINS
+    IDEMPOTENT = True
     REPLY = QueryAmbientDomainsReply
 
     def write_payload(self, writer: Writer) -> None:
@@ -1064,6 +1079,7 @@ class GetTimeReply(Reply):
 @dataclass
 class GetTime(Request):
     OPCODE = OpCode.GET_TIME
+    IDEMPOTENT = True
     REPLY = GetTimeReply
 
     def write_payload(self, writer: Writer) -> None:
@@ -1198,6 +1214,7 @@ class GetServerStats(Request):
     """Fetch the server's metrics snapshot (the observability plane)."""
 
     OPCODE = OpCode.GET_SERVER_STATS
+    IDEMPOTENT = True
     REPLY = GetServerStatsReply
 
     def write_payload(self, writer: Writer) -> None:
@@ -1213,6 +1230,7 @@ class NoOperation(Request):
     """Does nothing; useful for padding and benchmarks."""
 
     OPCODE = OpCode.NO_OPERATION
+    IDEMPOTENT = True
 
     def write_payload(self, writer: Writer) -> None:
         pass

@@ -31,6 +31,9 @@ class SetupRequest:
     major: int = PROTOCOL_MAJOR
     minor: int = PROTOCOL_MINOR
     client_name: str = ""
+    #: Nonzero asks the server to re-grant this id base (a reconnecting
+    #: client resuming its session so existing resource ids stay valid).
+    resume_base: int = 0
 
     def encode(self) -> bytes:
         writer = Writer()
@@ -38,6 +41,7 @@ class SetupRequest:
         writer.u16(self.major)
         writer.u16(self.minor)
         writer.string(self.client_name)
+        writer.u32(self.resume_base)
         return writer.getvalue()
 
     @classmethod
@@ -51,7 +55,8 @@ class SetupRequest:
         if name_len > 4096:
             raise WireFormatError("client name too long")
         name = recv_exact(sock, name_len).decode("utf-8") if name_len else ""
-        return cls(major, minor, name)
+        resume_base = struct.unpack("<I", recv_exact(sock, 4))[0]
+        return cls(major, minor, name, resume_base)
 
 
 @dataclass

@@ -10,13 +10,21 @@ connection."  (paper section 6.1)
 Each client gets a reader thread (parses requests, dispatches under the
 server lock) and a writer thread (drains an outbound queue), so a slow
 client can never stall the audio hub.
+
+The outbound queue is *bounded* (graceful degradation, see
+docs/RELIABILITY.md): when a client stops reading, the oldest queued
+**events** are shed first -- replies and errors are never dropped,
+because a client blocked in a round-trip must eventually hear back.  A
+consumer that stalls the writer thread past the server's stall deadline
+is evicted entirely so its socket buffers cannot pin server memory.
 """
 
 from __future__ import annotations
 
-import queue
+import collections
 import socket
 import threading
+import time
 
 from ..protocol.errors import ProtocolError
 from ..protocol.events import Event
@@ -34,6 +42,54 @@ from ..protocol.wire import (
 
 _SHUTDOWN = object()
 
+#: Default bound on per-client outbound messages awaiting the writer.
+DEFAULT_OUTBOUND_BOUND = 1024
+
+
+class _OutboundQueue:
+    """Bounded outbound message queue with oldest-event shedding.
+
+    Entries are ``(droppable, message)``; events are droppable, replies
+    and errors are not.  When a droppable put finds the queue at its
+    bound, the oldest droppable entry is shed (or, if the queue is
+    somehow all replies, the new event itself is).  Non-droppable puts
+    always append: the number of outstanding replies is bounded by the
+    client's own in-flight requests.
+    """
+
+    __slots__ = ("bound", "_items", "_lock", "_ready", "dropped")
+
+    def __init__(self, bound: int) -> None:
+        self.bound = bound
+        self._items: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        #: Events shed so far (read by the owning connection's metrics).
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, message, droppable: bool) -> None:
+        with self._ready:
+            if droppable and len(self._items) >= self.bound:
+                for index, (can_drop, _message) in enumerate(self._items):
+                    if can_drop:
+                        del self._items[index]
+                        self.dropped += 1
+                        break
+                else:
+                    self.dropped += 1
+                    return      # bound full of replies: shed the new event
+            self._items.append((droppable, message))
+            self._ready.notify()
+
+    def get(self):
+        with self._ready:
+            while not self._items:
+                self._ready.wait()
+            return self._items.popleft()[1]
+
 
 class ClientConnection:
     """One connected client: its socket, threads, and selections."""
@@ -46,6 +102,7 @@ class ClientConnection:
         self.id_base = id_base
         self.sequence = 0           # requests processed so far (16-bit wrap)
         self.closed = False
+        self.evicted = False
         #: resource id -> EventMask, set via SelectEvents.
         self._selections: dict[int, EventMask] = {}
         #: True when this client is the audio manager (SetRedirect).
@@ -65,7 +122,14 @@ class ClientConnection:
         self._m_events_sent = metrics.counter("net.events_sent")
         self._m_replies_sent = metrics.counter("net.replies_sent")
         self._m_errors_sent = metrics.counter("net.errors_sent")
-        self._outbound: queue.Queue = queue.Queue()
+        self._m_dropped_events = metrics.counter(
+            "clients.outbound.dropped_events")
+        self._outbound = _OutboundQueue(
+            getattr(server, "outbound_bound", DEFAULT_OUTBOUND_BOUND))
+        #: Wall-clock instant the writer thread entered a socket write,
+        #: or None while it is idle/between writes.  Written only by the
+        #: writer thread; read by the server's stall sweep.
+        self._writing_since: float | None = None
         self._reader = threading.Thread(
             target=self._read_loop, name="client-reader-%d" % id_base,
             daemon=True)
@@ -93,33 +157,52 @@ class ClientConnection:
     def send_event(self, event: Event) -> None:
         if not self.closed:
             self._m_events_sent.inc()
-            self._outbound.put(event.encode())
+            before = self._outbound.dropped
+            self._outbound.put(event.encode(), droppable=True)
+            shed = self._outbound.dropped - before
+            if shed:
+                self._m_dropped_events.inc(shed)
 
     def send_error(self, error: ProtocolError) -> None:
         if not self.closed:
             self._m_errors_sent.inc()
-            self._outbound.put(error.encode())
+            self._outbound.put(error.encode(), droppable=False)
 
     def send_reply(self, reply: Reply, sequence: int) -> None:
         if not self.closed:
             self._m_replies_sent.inc()
             self._outbound.put(Message(MessageKind.REPLY, 0, sequence,
-                                       reply.encode()))
+                                       reply.encode()), droppable=False)
 
     @property
     def queue_depth(self) -> int:
         """Outbound messages waiting for the writer thread."""
-        return self._outbound.qsize()
+        return len(self._outbound)
+
+    @property
+    def dropped_events(self) -> int:
+        """Events shed from this connection's outbound queue so far."""
+        return self._outbound.dropped
+
+    def stalled_for(self, now: float) -> float:
+        """Seconds the writer has been stuck in one socket write."""
+        writing_since = self._writing_since
+        if writing_since is None:
+            return 0.0
+        return now - writing_since
 
     def _write_loop(self) -> None:
         while True:
             message = self._outbound.get()
             if message is _SHUTDOWN:
                 break
+            self._writing_since = time.monotonic()
             try:
                 write_message(self.sock, message)
             except OSError:
                 break
+            finally:
+                self._writing_since = None
             size = HEADER_SIZE + len(message.payload)
             self.bytes_out += size
             self.messages_sent += 1
@@ -165,6 +248,7 @@ class ClientConnection:
             "bytes_out": self.bytes_out,
             "messages_out": self.messages_sent,
             "queue_depth": self.queue_depth,
+            "dropped_events": self.dropped_events,
         }
 
     # -- teardown -------------------------------------------------------------
@@ -173,7 +257,11 @@ class ClientConnection:
         if self.closed:
             return
         self.closed = True
-        self._outbound.put(_SHUTDOWN)
+        self._outbound.put(_SHUTDOWN, droppable=False)
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self.sock.close()
         except OSError:

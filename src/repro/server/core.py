@@ -33,7 +33,7 @@ from ..dsp.tones import beep, busy_tone, dial_tone, ringback_tone
 from ..hardware.config import HardwareConfig
 from ..hardware.hub import AudioHub
 from ..obs import MetricsRegistry
-from ..protocol.setup import SetupReply, SetupRequest
+from ..protocol.setup import ID_RANGE_SIZE, SetupReply, SetupRequest
 from ..protocol.types import MULAW_8K, PROTOCOL_MAJOR
 from ..protocol.wire import (
     ConnectionClosed,
@@ -41,7 +41,7 @@ from ..protocol.wire import (
     WireFormatError,
     set_nodelay,
 )
-from .clients import ClientConnection
+from .clients import DEFAULT_OUTBOUND_BOUND, ClientConnection
 from .devices import build_wrappers
 from .dispatch import Dispatcher
 from .events import EventRouter
@@ -61,9 +61,17 @@ class AudioServer:
                  host: str = "127.0.0.1", port: int = 0,
                  realtime: bool = False,
                  catalogue_dir: str | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 outbound_bound: int = DEFAULT_OUTBOUND_BOUND,
+                 stall_deadline: float = 5.0) -> None:
         self.hub = hub or AudioHub(config, realtime=realtime)
         self.lock = threading.RLock()
+        #: Graceful-degradation knobs (docs/RELIABILITY.md): per-client
+        #: outbound queue bound, and how long one socket write may block
+        #: the writer thread before the consumer is evicted.
+        self.outbound_bound = outbound_bound
+        self.stall_deadline = stall_deadline
+        self._last_stall_sweep = 0.0
         # The observability plane.  REPRO_METRICS=0 turns instrumentation
         # into no-ops machine-wide (for measuring the metering itself).
         if metrics is None:
@@ -81,6 +89,8 @@ class AudioServer:
         self._m_clients = metrics.gauge("clients.connected")
         self._m_accepted = metrics.counter("clients.accepted")
         self._m_setup_refused = metrics.counter("clients.setup_refused")
+        self._m_resumed = metrics.counter("clients.resumed")
+        self._m_evicted_slow = metrics.counter("clients.evicted_slow")
         self.resources = ResourceTable()
         #: Precompiled render plan: one (queue, devices) row per active
         #: LOUD, flattened once and reused every block until a topology
@@ -186,6 +196,33 @@ class AudioServer:
                     device.consume(sample_time, frames)
             for queue, devices in plan:
                 queue.tick_post(sample_time, frames, devices)
+        self._sweep_stalled_clients()
+
+    def _sweep_stalled_clients(self) -> None:
+        """Evict consumers whose sockets have wedged the writer thread.
+
+        Runs off the block cycle but rate-limited to a few times per
+        second; a stalled client is one whose writer thread has been
+        stuck inside a single socket write for longer than
+        :attr:`stall_deadline` (its TCP buffers are full and it is not
+        reading), at which point dropping events is no longer enough.
+        """
+        now = time.monotonic()
+        if now - self._last_stall_sweep < min(0.25, self.stall_deadline / 4):
+            return
+        self._last_stall_sweep = now
+        for client in self.clients_snapshot():
+            if client.evicted or client.closed:
+                continue
+            if client.stalled_for(now) > self.stall_deadline:
+                client.evicted = True
+                self._m_evicted_slow.inc()
+                log.warning(
+                    "evicting stalled client %r: writer blocked %.1fs, "
+                    "queue depth %d, %d events already shed", client.name,
+                    client.stalled_for(now), client.queue_depth,
+                    client.dropped_events)
+                client.close()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -265,7 +302,29 @@ class AudioServer:
             sock.close()
             return
         with self.lock:
-            id_base, id_mask = self.resources.grant_range()
+            if setup.resume_base:
+                # A reconnecting client asks for its old range back so
+                # its resource ids stay valid across the drop.  Resume is
+                # only safe once the old incarnation is fully gone --
+                # otherwise the journal replay would collide with its
+                # leftovers; the client backs off and retries.
+                resumable = (
+                    self.resources.was_granted(setup.resume_base)
+                    and not self.resources.range_in_use(setup.resume_base)
+                    and all(peer.id_base != setup.resume_base
+                            for peer in self.clients_snapshot()))
+                if not resumable:
+                    self._m_setup_refused.inc()
+                    log.debug("refused resume of id base %d for client %r",
+                              setup.resume_base, setup.client_name)
+                    sock.sendall(SetupReply(
+                        False, reason="resume not ready").encode())
+                    sock.close()
+                    return
+                id_base, id_mask = setup.resume_base, ID_RANGE_SIZE - 1
+                self._m_resumed.inc()
+            else:
+                id_base, id_mask = self.resources.grant_range()
             client = ClientConnection(self, sock, setup.client_name, id_base)
             with self._clients_lock:
                 self._clients.append(client)

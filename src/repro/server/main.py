@@ -5,6 +5,8 @@ Usage::
     repro-audio-server [--port N] [--realtime] [--catalogue DIR]
                        [--speakerphone] [--rate HZ] [--block FRAMES]
                        [--stats-interval SECONDS]
+                       [--outbound-bound MESSAGES]
+                       [--stall-deadline SECONDS]
 
 SIGUSR1 dumps a stats snapshot to stderr at any time; one more snapshot
 is dumped at shutdown.
@@ -45,6 +47,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dump a stats snapshot to stderr every "
                              "SECONDS (also dumped on SIGUSR1 and at "
                              "shutdown)")
+    parser.add_argument("--outbound-bound", type=int, default=1024,
+                        metavar="MESSAGES",
+                        help="per-client outbound queue bound; oldest "
+                             "events are shed past it (default 1024)")
+    parser.add_argument("--stall-deadline", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="evict a client whose socket blocks its "
+                             "writer thread this long (default 5.0)")
     return parser
 
 
@@ -54,7 +64,9 @@ def main(argv: list[str] | None = None) -> int:
                             speakerphone=args.speakerphone)
     server = AudioServer(config, host=args.host, port=args.port,
                          realtime=args.realtime,
-                         catalogue_dir=args.catalogue)
+                         catalogue_dir=args.catalogue,
+                         outbound_bound=args.outbound_bound,
+                         stall_deadline=args.stall_deadline)
     server.start()
     print("audio server listening on %s:%d" % (server.host, server.port))
     stats = StatsLogger(server, interval=args.stats_interval)

@@ -34,6 +34,21 @@ class ResourceTable:
         self._next_client_base += ID_RANGE_SIZE
         return base, ID_RANGE_SIZE - 1
 
+    def was_granted(self, base: int) -> bool:
+        """Whether ``base`` is a range this table handed out earlier.
+
+        Ranges are never re-granted to fresh clients, so a previously
+        granted base can safely be *resumed* by a reconnecting client
+        once its old incarnation's resources are gone.
+        """
+        return (base >= FIRST_CLIENT_ID
+                and base < self._next_client_base
+                and (base - FIRST_CLIENT_ID) % ID_RANGE_SIZE == 0)
+
+    def range_in_use(self, base: int) -> bool:
+        """Whether any live resource still belongs to ``base``."""
+        return any(owner == base for owner in self._owner.values())
+
     def add_server_resource(self, resource_id: int, resource: object) -> None:
         """Register a server-owned resource (device LOUD entries)."""
         if resource_id >= FIRST_CLIENT_ID:

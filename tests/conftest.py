@@ -4,6 +4,11 @@ import numpy as np
 import pytest
 
 from repro.alib import AudioClient
+from repro.chaos.fixtures import (  # noqa: F401
+    chaos_client,
+    chaos_proxy,
+    make_chaos_proxy,
+)
 from repro.hardware import HardwareConfig
 from repro.server import AudioServer
 

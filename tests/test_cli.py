@@ -8,7 +8,6 @@ import io
 import signal
 import subprocess
 import sys
-import time
 
 
 from repro.alib.cli import main as control_main
@@ -17,6 +16,8 @@ from repro.dsp.aufile import write_au
 from repro.dsp.encodings import mulaw_encode
 from repro.protocol.types import MULAW_8K
 from repro.telephony import SimulatedParty
+
+from conftest import wait_for
 
 
 def run_control(server, *args):
@@ -90,8 +91,9 @@ class TestControlClient:
         line = server.hub.exchange.add_line("5550261")
 
         def ring_in():
-            # Give the monitor a moment (wall clock) to subscribe.
-            time.sleep(0.5)
+            # Ring only once the monitor's event subscription is live.
+            wait_for(lambda: any(c._selections
+                                 for c in server.clients_snapshot()))
             server.hub.exchange.add_party(SimulatedParty(
                 line, answer_after_rings=None,
                 script=[Dial("5550100")]))

@@ -10,13 +10,12 @@ playing.
 
 import socket
 import struct
-import time
 
 
 from repro.alib import AudioClient
+from repro.chaos.fixtures import raw_setup
 from repro.dsp import tones
 from repro.dsp.mixing import rms
-from repro.protocol.setup import SetupRequest
 from repro.protocol.types import (
     DeviceClass,
     EventCode,
@@ -64,9 +63,7 @@ class TestGarbageBytes:
 
     def test_garbage_after_setup(self, server, client):
         start_playing(client)
-        raw = socket.create_connection(("127.0.0.1", server.port))
-        raw.sendall(SetupRequest(client_name="evil").encode())
-        raw.recv(4096)   # setup reply
+        raw = raw_setup(server.port, "evil")
         raw.sendall(b"\xff" * 1024)
         raw.close()
         assert server_is_healthy(server)
@@ -75,31 +72,28 @@ class TestGarbageBytes:
             lambda: rms(server.hub.speakers[0].capture.samples()) > 0)
 
     def test_truncated_message_then_close(self, server, client):
-        raw = socket.create_connection(("127.0.0.1", server.port))
-        raw.sendall(SetupRequest(client_name="trunc").encode())
-        raw.recv(4096)
+        raw = raw_setup(server.port, "trunc")
         # A header promising 100 payload bytes, then nothing.
         raw.sendall(struct.pack("<BBHI", 0, 35, 1, 100))
         raw.close()
         assert server_is_healthy(server)
 
     def test_huge_declared_payload_rejected(self, server, client):
-        raw = socket.create_connection(("127.0.0.1", server.port))
-        raw.sendall(SetupRequest(client_name="huge").encode())
-        raw.recv(4096)
+        raw = raw_setup(server.port, "huge")
         raw.sendall(struct.pack("<BBHI", 0, 35, 1, 1 << 30))
-        time.sleep(0.05)
+        # The server drops the connection: wait for its FIN, not a timer.
+        raw.settimeout(5.0)
+        assert raw.recv(4096) == b""
         raw.close()
         assert server_is_healthy(server)
 
     def test_wrong_message_kind_drops_connection(self, server, client):
-        raw = socket.create_connection(("127.0.0.1", server.port))
-        raw.sendall(SetupRequest(client_name="kinds").encode())
-        raw.recv(4096)
+        raw = raw_setup(server.port, "kinds")
         # Clients only send requests; an EVENT from a client is a
         # protocol violation and the connection is dropped.
         raw.sendall(Message(MessageKind.EVENT, 2, 0, b"").encode())
-        time.sleep(0.05)
+        raw.settimeout(5.0)
+        assert raw.recv(4096) == b""
         raw.close()
         assert server_is_healthy(server)
 

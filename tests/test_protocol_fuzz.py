@@ -18,9 +18,35 @@ from repro.protocol.types import ErrorCode, EventCode, OpCode
 from repro.protocol.wire import (
     Message,
     MessageKind,
+    MessageStream,
     Reader,
     WireFormatError,
 )
+
+
+class _ChunkedFakeSocket:
+    """A socket double that serves a byte string in scripted chunks.
+
+    ``recv_into`` hands out at most the next scripted chunk size per
+    call (and never more than the caller's buffer), mimicking arbitrary
+    TCP segmentation: byte-at-a-time dribble, giant coalesced reads, or
+    splits at any offset.
+    """
+
+    def __init__(self, data: bytes, chunk_sizes: list[int]) -> None:
+        self._data = data
+        self._offset = 0
+        self._chunks = list(chunk_sizes)
+
+    def recv_into(self, view) -> int:
+        remaining = len(self._data) - self._offset
+        if remaining == 0:
+            return 0
+        limit = self._chunks.pop(0) if self._chunks else remaining
+        count = max(1, min(limit, remaining, len(view)))
+        view[:count] = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return count
 
 
 class TestDecodeRequestFuzz:
@@ -73,6 +99,53 @@ class TestDecodeRequestFuzz:
             ProtocolError.decode(message)
         except WireFormatError:
             pass
+
+
+class TestAdversarialFraming:
+    """MessageStream must decode identically however TCP splits the
+    bytes -- the chaos proxy's throttle and the real network both
+    fragment writes at arbitrary offsets."""
+
+    MESSAGES = st.lists(
+        st.builds(Message,
+                  st.sampled_from([MessageKind.REQUEST, MessageKind.REPLY,
+                                   MessageKind.EVENT, MessageKind.ERROR]),
+                  st.integers(0, 255),
+                  st.integers(0, 0xFFFF),
+                  st.binary(max_size=200)),
+        min_size=1, max_size=6)
+
+    @staticmethod
+    def _decode_all(data, chunk_sizes, count):
+        stream = MessageStream(_ChunkedFakeSocket(data, chunk_sizes))
+        return [stream.read_message() for _index in range(count)]
+
+    @given(MESSAGES, st.lists(st.integers(1, 64), max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_any_chunking_decodes_identically(self, messages, chunk_sizes):
+        data = b"".join(message.encode() for message in messages)
+        whole = self._decode_all(data, [], len(messages))
+        chunked = self._decode_all(data, chunk_sizes, len(messages))
+        assert chunked == whole
+
+    @given(MESSAGES)
+    @settings(max_examples=50, deadline=None)
+    def test_byte_at_a_time_decodes_identically(self, messages):
+        data = b"".join(message.encode() for message in messages)
+        whole = self._decode_all(data, [], len(messages))
+        dribbled = self._decode_all(data, [1] * len(data), len(messages))
+        assert dribbled == whole
+
+    @given(MESSAGES.filter(lambda m: len(m) >= 2), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_split_at_every_message_boundary_offset(self, messages, data):
+        """One split placed anywhere -- including mid-header and exactly
+        on a frame boundary -- never changes the decode."""
+        stream_bytes = b"".join(message.encode() for message in messages)
+        split = data.draw(st.integers(1, len(stream_bytes) - 1))
+        whole = self._decode_all(stream_bytes, [], len(messages))
+        halved = self._decode_all(stream_bytes, [split], len(messages))
+        assert halved == whole
 
 
 class TestRoundTripCompleteness:
