@@ -1,0 +1,141 @@
+"""E8 -- multicore block cycle: render-pool scaling and batched dispatch.
+
+The sharded render pool splits the render plan's ``(queue, devices)``
+rows across worker threads; the contract is *byte-identical* output at
+higher tick throughput.  This experiment measures block-cycle throughput
+serial vs parallel at 1/4/16 LOUDs (asserting identity every time) and
+the dispatch layer's pipelined request rate, and emits the records CI
+diffs via BENCH_PERF.json.
+
+On a single-core runner the parallel path still runs (the equivalence
+assertions always hold) but the >= 2x speedup gate only arms when the
+machine actually has cores to scale onto (``os.cpu_count() >= 4``).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.alib import AudioClient
+from repro.bench import record_perf, scaled
+from repro.chaos.fixtures import raw_setup
+from repro.hardware import HardwareConfig
+from repro.protocol.requests import GetTime
+from repro.protocol.types import DeviceClass
+from repro.protocol.wire import Message, MessageKind, MessageStream
+from repro.server import AudioServer
+
+RATE = 8000
+BLOCK = 160
+
+
+@pytest.fixture
+def server_rig():
+    server = AudioServer(HardwareConfig())
+    server.start()
+    sock = raw_setup(server.port, client_name="pipeline-bench")
+    yield server, sock
+    sock.close()
+    server.stop()
+
+
+def _build_louds(client, loud_count):
+    """``loud_count`` playback LOUDs, each playing its own long tone."""
+    for index in range(loud_count):
+        loud = client.create_loud()
+        player = loud.create_device(DeviceClass.PLAYER)
+        output = loud.create_device(DeviceClass.OUTPUT)
+        loud.wire(player, 0, output, 0)
+        tone = (np.sin(np.arange(RATE * 10) * (0.01 + 0.003 * index))
+                * 9000).astype(np.int16)
+        sound = client.sound_from_samples(tone)
+        player.play(sound)
+        loud.map()
+        loud.start_queue()
+
+
+def _tick_run(render_workers, loud_count, blocks):
+    """Step ``blocks`` ticks; return (blocks/sec, capture, snapshot)."""
+    server = AudioServer(HardwareConfig(), render_workers=render_workers,
+                         render_min_rows=2)
+    server.start(start_hub=False)   # manual stepping: measured time only
+    client = AudioClient(port=server.port, client_name="scaling")
+    try:
+        _build_louds(client, loud_count)
+        client.sync()
+        server.hub.step(10)         # warm caches and the render plan
+        started = time.perf_counter()
+        server.hub.step(blocks)
+        elapsed = time.perf_counter() - started
+        capture = server.hub.speakers[0].capture.samples().copy()
+        return blocks / elapsed, capture, server.stats_snapshot()
+    finally:
+        client.close()
+        server.stop()
+
+
+def test_render_pool_scaling(report):
+    """Serial vs 4-worker block cycle at 1, 4 and 16 LOUDs."""
+    blocks = scaled(400, 40)
+    cpus = os.cpu_count() or 1
+    speedups = {}
+    for loud_count in (1, 4, 16):
+        serial_rate, serial_capture, _ = _tick_run(1, loud_count, blocks)
+        parallel_rate, parallel_capture, snapshot = _tick_run(
+            4, loud_count, blocks)
+        # The whole point: parallel output is byte-identical.
+        assert np.array_equal(serial_capture, parallel_capture), (
+            "parallel render diverged at %d LOUDs" % loud_count)
+        # Multi-row plans must actually have exercised the pool (a
+        # single-LOUD plan legitimately stays on the serial path).
+        if loud_count >= 4:
+            assert snapshot["counters"]["renderpool.rows"] > 0
+            assert snapshot["counters"]["renderpool.parallel_ticks"] > 0
+        speedup = parallel_rate / serial_rate
+        speedups[loud_count] = speedup
+        record_perf("block_cycle.serial.%dlouds" % loud_count,
+                    serial_rate, louds=loud_count)
+        record_perf("block_cycle.parallel4.%dlouds" % loud_count,
+                    parallel_rate, louds=loud_count,
+                    speedup=round(speedup, 2), cpus=cpus,
+                    fast=bool(os.environ.get("REPRO_BENCH_FAST")),
+                    renderpool_rows=snapshot["counters"].get(
+                        "renderpool.rows", 0))
+        report.row("E8", "block cycle %d LOUDs, 4 workers" % loud_count,
+                   "%.0f blk/s (%.2fx serial)" % (parallel_rate, speedup),
+                   ">= 2x at 16 LOUDs on >= 4 cores")
+    if cpus >= 4 and not os.environ.get("REPRO_BENCH_FAST"):
+        assert speedups[16] >= 2.0, (
+            "16-LOUD speedup %.2fx below 2x on a %d-core machine"
+            % (speedups[16], cpus))
+    else:
+        report.note("E8   | speedup gate skipped (cpus=%d, fast=%s)"
+                    % (cpus, bool(os.environ.get("REPRO_BENCH_FAST"))))
+
+
+def test_pipelined_dispatch_throughput(server_rig, report):
+    """Requests/second with the reader draining pipelined batches."""
+    server, sock = server_rig
+    count = scaled(4000, 400)
+    blob = b"".join(
+        Message(MessageKind.REQUEST, int(GetTime.OPCODE), index + 1,
+                GetTime().encode()).encode()
+        for index in range(count))
+    stream = MessageStream(sock)
+    sock.settimeout(60.0)
+    started = time.perf_counter()
+    sock.sendall(blob)
+    for _ in range(count):
+        stream.read_message()
+    elapsed = time.perf_counter() - started
+    rate = count / elapsed
+    histogram = server.stats_snapshot()["histograms"]["dispatch.batch_size"]
+    mean_batch = histogram["sum"] / max(histogram["count"], 1)
+    record_perf("dispatch.pipelined_get_time", rate,
+                mean_batch=round(mean_batch, 2))
+    report.row("E8", "pipelined GET_TIME round trips",
+               "%.0f req/s (batch mean %.1f)" % (rate, mean_batch),
+               "batched reads amortize the lock")
+    assert rate > 0

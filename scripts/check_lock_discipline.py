@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Lock-discipline lint: no blocking I/O under a server lock.
+
+Walks every module under ``src/repro/server/`` and flags calls that can
+block indefinitely -- socket operations (``sendall``, ``send``,
+``recv``, ``accept``, ``connect``) and ``time.sleep`` -- made lexically
+inside a ``with self.lock:`` (or any ``*.lock`` / ``*_lock``) block.
+The topology lock gates the 20 ms block cycle; one stalled peer socket
+under it would stall every client's audio (docs/PERFORMANCE.md,
+"Concurrency model").
+
+Exit status is nonzero if any violation is found, so CI can gate on it.
+Queue handoffs (``put``, ``notify``) are deliberately fine -- the writer
+threads do the actual socket work outside the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Method names that can block on a peer or the clock.
+BLOCKING_ATTRS = frozenset({
+    "sendall", "send", "sendto", "recv", "recv_into", "accept", "connect",
+})
+
+SERVER_DIR = Path(__file__).resolve().parent.parent / "src/repro/server"
+
+
+def _is_lock_expr(node: ast.expr) -> bool:
+    """True for ``self.lock``, ``server.lock``, ``self._clients_lock``..."""
+    if isinstance(node, ast.Attribute):
+        return node.attr == "lock" or node.attr.endswith("_lock")
+    return False
+
+
+def _is_time_sleep(func: ast.expr) -> bool:
+    return (isinstance(func, ast.Attribute) and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time")
+
+
+class LockDisciplineVisitor(ast.NodeVisitor):
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.lock_depth = 0
+        self.violations: list[tuple[Path, int, str]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(_is_lock_expr(item.context_expr)
+                     for item in node.items)
+        self.lock_depth += 1 if locked else 0
+        self.generic_visit(node)
+        self.lock_depth -= 1 if locked else 0
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.lock_depth > 0:
+            func = node.func
+            if _is_time_sleep(func):
+                self.violations.append(
+                    (self.path, node.lineno, "time.sleep under a lock"))
+            elif (isinstance(func, ast.Attribute)
+                    and func.attr in BLOCKING_ATTRS):
+                self.violations.append(
+                    (self.path, node.lineno,
+                     "socket .%s() under a lock" % func.attr))
+        self.generic_visit(node)
+
+    # Lock scope is per-function: a def nested inside a with-block runs
+    # later, on its own thread, not under the enclosing lock.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        saved, self.lock_depth = self.lock_depth, 0
+        self.generic_visit(node)
+        self.lock_depth = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def check_file(path: Path) -> list[tuple[Path, int, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    visitor = LockDisciplineVisitor(path)
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def main() -> int:
+    violations = []
+    for path in sorted(SERVER_DIR.rglob("*.py")):
+        violations.extend(check_file(path))
+    for path, line, reason in violations:
+        print("%s:%d: %s" % (path.relative_to(SERVER_DIR.parent.parent.parent),
+                             line, reason))
+    if violations:
+        print("%d lock-discipline violation(s)" % len(violations))
+        return 1
+    print("lock discipline ok (%d server modules checked)"
+          % len(list(SERVER_DIR.rglob("*.py"))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

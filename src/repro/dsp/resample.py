@@ -46,27 +46,52 @@ class StreamResampler:
         self.to_rate = to_rate
         self._ratio = from_rate / to_rate
         self._position = 0.0        # source-sample position of next output
-        self._tail = np.zeros(0, dtype=np.float64)
+        # Scratch state, reused block to block so the steady-state path
+        # allocates nothing but the output array: the tail lives at the
+        # front of one preallocated float64 buffer, and the arange
+        # ramps np.interp needs are cached per length.
+        self._buffer = np.zeros(0, dtype=np.float64)
+        self._tail_len = 0
+        self._index_cache: dict[int, np.ndarray] = {}
+
+    def _indices(self, length: int) -> np.ndarray:
+        """``np.arange(length)`` cached; lengths repeat every block."""
+        found = self._index_cache.get(length)
+        if found is None:
+            if len(self._index_cache) > 32:     # rate change churn guard
+                self._index_cache.clear()
+            found = self._index_cache[length] = np.arange(
+                length, dtype=np.float64)
+        return found
 
     def process(self, samples: np.ndarray) -> np.ndarray:
         """Feed a block of source samples, get the resampled block."""
         if self.from_rate == self.to_rate:
             return np.asarray(samples, dtype=np.int16)
-        src = np.concatenate(
-            [self._tail, np.asarray(samples, dtype=np.float64)])
-        if len(src) < 2:
-            self._tail = src
+        fresh = np.asarray(samples)
+        total = self._tail_len + len(fresh)
+        if total > len(self._buffer):
+            grown = np.zeros(total, dtype=np.float64)
+            grown[:self._tail_len] = self._buffer[:self._tail_len]
+            self._buffer = grown
+        self._buffer[self._tail_len:total] = fresh
+        src = self._buffer[:total]
+        if total < 2:
+            self._tail_len = total
             return np.zeros(0, dtype=np.int16)
         # Generate outputs whose source position stays inside [0, len-1).
-        limit = len(src) - 1
+        limit = total - 1
         count = int(np.floor((limit - self._position) / self._ratio))
         if count <= 0:
-            self._tail = src
+            self._tail_len = total
             return np.zeros(0, dtype=np.int16)
-        positions = self._position + np.arange(count) * self._ratio
-        output = np.interp(positions, np.arange(len(src)), src)
+        positions = self._position + self._indices(count) * self._ratio
+        output = np.interp(positions, self._indices(total), src)
         next_position = self._position + count * self._ratio
         keep_from = int(np.floor(next_position))
-        self._tail = src[keep_from:]
+        keep = total - keep_from
+        # Overlap-safe move of the kept tail to the buffer's front.
+        self._buffer[:keep] = src[keep_from:total].copy()
+        self._tail_len = keep
         self._position = next_position - keep_from
         return np.clip(np.round(output), -32768, 32767).astype(np.int16)

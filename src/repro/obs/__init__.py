@@ -18,6 +18,7 @@ operator sees.
 
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
+    MICROSECOND_BUCKETS,
     NULL_REGISTRY,
     Counter,
     Gauge,
@@ -28,6 +29,7 @@ from .logger import StatsLogger
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "MICROSECOND_BUCKETS",
     "NULL_REGISTRY",
     "Counter",
     "Gauge",

@@ -29,6 +29,14 @@ DEFAULT_LATENCY_BUCKETS = (
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
 )
 
+#: Bucket upper bounds for histograms observed in *microseconds* (lock
+#: waits, tick durations): 1 us resolution at the bottom, 100 ms at the
+#: overflow end.
+MICROSECOND_BUCKETS = (
+    1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 25000.0, 50000.0, 100000.0,
+)
+
 
 class Counter:
     """A monotonically increasing integer."""

@@ -27,6 +27,7 @@ out a delayed ACK).
 from __future__ import annotations
 
 import enum
+import select
 import socket
 import struct
 from dataclasses import dataclass
@@ -287,6 +288,29 @@ class MessageStream:
             view = memoryview(bytearray(length))
         recv_exact_into(self.sock, view, length)
         return Message(kind, code, sequence, bytes(view[:length]))
+
+    def _readable(self) -> bool:
+        """Whether a recv would return immediately (zero-timeout poll)."""
+        try:
+            ready, _, _ = select.select([self.sock], [], [], 0)
+        except (OSError, ValueError):
+            return False
+        return bool(ready)
+
+    def read_batch(self, limit: int = 64) -> list[Message]:
+        """One blocking read, then drain whatever has already arrived.
+
+        Returns at least one message; keeps reading while the socket
+        reports pending bytes, up to ``limit`` messages, so a chatty
+        client's backlog can be dispatched as one batch.  A message torn
+        across TCP segments makes the last read block briefly for its
+        remainder -- the same exposure a lone ``read_message`` has, and
+        only to the sender of that message.
+        """
+        messages = [self.read_message()]
+        while len(messages) < limit and self._readable():
+            messages.append(self.read_message())
+        return messages
 
 
 def set_nodelay(sock: socket.socket) -> None:

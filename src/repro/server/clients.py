@@ -45,6 +45,9 @@ _SHUTDOWN = object()
 #: Default bound on per-client outbound messages awaiting the writer.
 DEFAULT_OUTBOUND_BOUND = 1024
 
+#: Most requests a reader drains into one dispatch batch.
+MAX_DISPATCH_BATCH = 64
+
 
 class _OutboundQueue:
     """Bounded outbound message queue with oldest-event shedding.
@@ -70,18 +73,28 @@ class _OutboundQueue:
     def __len__(self) -> int:
         return len(self._items)
 
+    def _put_locked(self, message, droppable: bool) -> None:
+        if droppable and len(self._items) >= self.bound:
+            for index, (can_drop, _message) in enumerate(self._items):
+                if can_drop:
+                    del self._items[index]
+                    self.dropped += 1
+                    break
+            else:
+                self.dropped += 1
+                return      # bound full of replies: shed the new event
+        self._items.append((droppable, message))
+
     def put(self, message, droppable: bool) -> None:
         with self._ready:
-            if droppable and len(self._items) >= self.bound:
-                for index, (can_drop, _message) in enumerate(self._items):
-                    if can_drop:
-                        del self._items[index]
-                        self.dropped += 1
-                        break
-                else:
-                    self.dropped += 1
-                    return      # bound full of replies: shed the new event
-            self._items.append((droppable, message))
+            self._put_locked(message, droppable)
+            self._ready.notify()
+
+    def put_many(self, messages, droppable: bool) -> None:
+        """Append a batch under one lock round-trip and one wakeup."""
+        with self._ready:
+            for message in messages:
+                self._put_locked(message, droppable)
             self._ready.notify()
 
     def get(self):
@@ -163,6 +176,18 @@ class ClientConnection:
             if shed:
                 self._m_dropped_events.inc(shed)
 
+    def send_events(self, batched: list[Event]) -> None:
+        """Enqueue a tick's coalesced events: one append, one wakeup."""
+        if self.closed or not batched:
+            return
+        self._m_events_sent.inc(len(batched))
+        before = self._outbound.dropped
+        self._outbound.put_many([event.encode() for event in batched],
+                                droppable=True)
+        shed = self._outbound.dropped - before
+        if shed:
+            self._m_dropped_events.inc(shed)
+
     def send_error(self, error: ProtocolError) -> None:
         if not self.closed:
             self._m_errors_sent.inc()
@@ -220,18 +245,25 @@ class ClientConnection:
         try:
             while not self.closed:
                 try:
-                    message = stream.read_message()
+                    messages = stream.read_batch(MAX_DISPATCH_BATCH)
                 except (ConnectionClosed, OSError):
                     break
-                if message.kind is not MessageKind.REQUEST:
-                    break   # clients only send requests
-                size = HEADER_SIZE + len(message.payload)
-                self.bytes_in += size
-                self.requests_received += 1
-                self._m_bytes_in.inc(size)
-                self._m_messages_in.inc()
-                self.sequence = (self.sequence + 1) & 0xFFFF
-                self.server.dispatch_request(self, message)
+                batch = []
+                for message in messages:
+                    if message.kind is not MessageKind.REQUEST:
+                        break   # clients only send requests
+                    size = HEADER_SIZE + len(message.payload)
+                    self.bytes_in += size
+                    self.requests_received += 1
+                    self._m_bytes_in.inc(size)
+                    self._m_messages_in.inc()
+                    batch.append(message)
+                if batch:
+                    # Sequence accounting happens per message inside the
+                    # batch dispatch, keeping replies in lockstep.
+                    self.server.dispatch_batch(self, batch)
+                if len(batch) != len(messages):
+                    break   # a non-request message ends the connection
         except WireFormatError:
             pass    # unframeable stream: drop the connection
         finally:

@@ -14,10 +14,16 @@ Threads (paper section 6.1 mapped onto our design; see DESIGN.md §4):
 * **per-client reader/writer threads** parse requests and drain events;
 * the **audio hub thread** is the device layer; the server registers one
   tick callback that runs the command-queue conductors and the wire-graph
-  rendering engine inside the hub's block cycle.
+  rendering engine inside the hub's block cycle;
+* the **render pool** workers shard the block cycle's render plan rows
+  across cores (``render_pool.py``), merging deterministically.
 
-One re-entrant server lock serializes request dispatch against the block
-cycle; event delivery is queue-based so no client can stall audio.
+The re-entrant *topology* lock serializes mutating dispatch against the
+block cycle; pure and snapshot-served queries bypass it entirely
+(``dispatch.py``), and each reader thread drains its pending requests
+into one batched lock acquisition.  Event delivery is queue-based so no
+client can stall audio.  See docs/PERFORMANCE.md ("Concurrency model")
+for the full lock hierarchy and REPRO_LOCK_DEBUG.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from ..dsp import encodings
 from ..dsp.tones import beep, busy_tone, dial_tone, ringback_tone
 from ..hardware.config import HardwareConfig
 from ..hardware.hub import AudioHub
-from ..obs import MetricsRegistry
+from ..obs import MICROSECOND_BUCKETS, MetricsRegistry
 from ..protocol.setup import ID_RANGE_SIZE, SetupReply, SetupRequest
 from ..protocol.types import MULAW_8K, PROTOCOL_MAJOR
 from ..protocol.wire import (
@@ -45,8 +51,11 @@ from .clients import DEFAULT_OUTBOUND_BOUND, ClientConnection
 from .devices import build_wrappers
 from .dispatch import Dispatcher
 from .events import EventRouter
+from .locks import RANK_CLIENTS, RANK_TOPOLOGY, InstrumentedRLock
 from .loud import Loud
+from .render_pool import RenderPool
 from .resources import DEVICE_LOUD_ID, ResourceTable
+from .snapshot import QuerySnapshot, build_query_snapshot
 from .sounds import Catalogue, DecodeCache
 from .stack import ActiveStack
 
@@ -63,9 +72,10 @@ class AudioServer:
                  catalogue_dir: str | None = None,
                  metrics: MetricsRegistry | None = None,
                  outbound_bound: int = DEFAULT_OUTBOUND_BOUND,
-                 stall_deadline: float = 5.0) -> None:
+                 stall_deadline: float = 5.0,
+                 render_workers: int | None = None,
+                 render_min_rows: int | None = None) -> None:
         self.hub = hub or AudioHub(config, realtime=realtime)
-        self.lock = threading.RLock()
         #: Graceful-degradation knobs (docs/RELIABILITY.md): per-client
         #: outbound queue bound, and how long one socket write may block
         #: the writer thread before the consumer is evicted.
@@ -78,6 +88,12 @@ class AudioServer:
             metrics = MetricsRegistry(
                 enabled=os.environ.get("REPRO_METRICS", "1") != "0")
         self.metrics = metrics
+        #: The topology lock: serializes mutating dispatch, the block
+        #: cycle and client teardown.  Pure/snapshot queries never take
+        #: it.  Instrumented (lock.wait_us / lock.hold_us); rank order
+        #: and hold times are asserted with REPRO_LOCK_DEBUG=1.
+        self.lock = InstrumentedRLock("topology", RANK_TOPOLOGY,
+                                      metrics=metrics)
         self._started_at = time.monotonic()
         self._m_blocks = metrics.counter("audio.blocks")
         self._m_frames = metrics.counter("audio.frames")
@@ -91,11 +107,25 @@ class AudioServer:
         self._m_setup_refused = metrics.counter("clients.setup_refused")
         self._m_resumed = metrics.counter("clients.resumed")
         self._m_evicted_slow = metrics.counter("clients.evicted_slow")
+        self._m_tick_duration = metrics.histogram(
+            "tick.duration_us", edges=MICROSECOND_BUCKETS)
+        self._m_snapshot_rebuilds = metrics.counter(
+            "querysnapshot.rebuilds")
         self.resources = ResourceTable()
         #: Precompiled render plan: one (queue, devices) row per active
         #: LOUD, flattened once and reused every block until a topology
         #: mutation invalidates it.  None = rebuild on next tick.
         self._render_plan: list[tuple] | None = None
+        #: Monotonic topology version; bumped by plan invalidation,
+        #: every locked dispatch batch and client teardown.  Keys the
+        #: lock-free query snapshot.
+        self._topology_version = 0
+        self._query_snapshot: QuerySnapshot | None = None
+        #: Sharded render workers (docs/PERFORMANCE.md); plans below the
+        #: row threshold (or a <2-worker pool) render serially in
+        #: _on_tick, which stays the byte-identical oracle.
+        self.render_pool = RenderPool(self, workers=render_workers,
+                                      min_rows=render_min_rows)
         #: Shared LRU of decoded sounds; dispatch attaches every sound a
         #: client creates or loads, so repeat plays skip the codec.
         self.decode_cache = DecodeCache(metrics=metrics)
@@ -104,7 +134,8 @@ class AudioServer:
         self.dispatcher = Dispatcher(self)
         self.manager: ClientConnection | None = None
         self._clients: list[ClientConnection] = []
-        self._clients_lock = threading.Lock()
+        self._clients_lock = InstrumentedRLock("clients", RANK_CLIENTS,
+                                               metrics=metrics)
         self._catalogues: dict[str, Catalogue] = {}
         self.host = host
         self.port = port
@@ -168,16 +199,39 @@ class AudioServer:
         so over-invalidating is always safe.
         """
         self._render_plan = None
+        self._topology_version += 1
         self._m_plan_invalidations.inc()
 
     def _build_render_plan(self) -> list[tuple]:
-        plan = [(loud.queue, tuple(loud.all_devices()))
-                for loud in self.stack.active_louds()]
+        plan = self.stack.render_rows()
         self._render_plan = plan
         self._m_plan_rebuilds.inc()
         return plan
 
+    def query_snapshot(self) -> QuerySnapshot:
+        """The current immutable topology snapshot, rebuilt on demand.
+
+        The fast path is two attribute reads and an int compare -- no
+        lock.  On a version miss the snapshot is rebuilt under the
+        topology lock; one brief acquisition amortized across every
+        query until the next mutation.
+        """
+        snapshot = self._query_snapshot
+        version = self._topology_version
+        if snapshot is not None and snapshot.version == version:
+            return snapshot
+        with self.lock:
+            snapshot = self._query_snapshot
+            version = self._topology_version
+            if snapshot is not None and snapshot.version == version:
+                return snapshot
+            snapshot = build_query_snapshot(self, version)
+            self._query_snapshot = snapshot
+            self._m_snapshot_rebuilds.inc()
+            return snapshot
+
     def _on_tick(self, sample_time: int, frames: int) -> None:
+        started = time.perf_counter()
         with self.lock:
             plan = self._render_plan
             if plan is None:
@@ -186,16 +240,27 @@ class AudioServer:
             self._m_frames.inc(frames)
             self._m_active_louds.set(len(plan))
             self._m_plan_ticks.inc()
-            for queue, _devices in plan:
-                queue.tick_pre(sample_time, frames)
-            for _queue, devices in plan:
-                for device in devices:
-                    device.begin_tick(sample_time, frames)
-            for _queue, devices in plan:
-                for device in devices:
-                    device.consume(sample_time, frames)
-            for queue, devices in plan:
-                queue.tick_post(sample_time, frames, devices)
+            # Same-tick events coalesce into one writer wakeup per
+            # client; the flush preserves emission order.
+            self.events.begin_tick_batch()
+            try:
+                for queue, _devices in plan:
+                    queue.tick_pre(sample_time, frames)
+                if not self.render_pool.render(plan, sample_time, frames):
+                    # Serial path: the oracle the pool must match
+                    # byte-for-byte, and the fallback for small plans.
+                    for _queue, devices in plan:
+                        for device in devices:
+                            device.begin_tick(sample_time, frames)
+                    for _queue, devices in plan:
+                        for device in devices:
+                            device.consume(sample_time, frames)
+                for queue, devices in plan:
+                    queue.tick_post(sample_time, frames, devices)
+            finally:
+                self.events.flush_tick_batch()
+        self._m_tick_duration.observe(
+            (time.perf_counter() - started) * 1e6)
         self._sweep_stalled_clients()
 
     def _sweep_stalled_clients(self) -> None:
@@ -226,8 +291,13 @@ class AudioServer:
 
     # -- lifecycle ------------------------------------------------------------
 
-    def start(self) -> None:
-        """Start the hub and the connection manager."""
+    def start(self, start_hub: bool = True) -> None:
+        """Start the hub and the connection manager.
+
+        ``start_hub=False`` leaves the hub thread stopped so a test or
+        benchmark can drive block time deterministically with
+        ``server.hub.step(n)`` from sample time zero.
+        """
         if self._running:
             return
         self._running = True
@@ -236,7 +306,8 @@ class AudioServer:
         self._listener.bind((self.host, self.port))
         self.port = self._listener.getsockname()[1]
         self._listener.listen(32)
-        self.hub.start()
+        if start_hub:
+            self.hub.start()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="connection-manager", daemon=True)
         self._accept_thread.start()
@@ -257,6 +328,7 @@ class AudioServer:
         for client in self.clients_snapshot():
             client.close()
         self.hub.stop()
+        self.render_pool.shutdown()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
             self._accept_thread = None
@@ -279,6 +351,18 @@ class AudioServer:
             threading.Thread(target=self._setup_client, args=(sock,),
                              daemon=True).start()
 
+    def _refuse_setup(self, sock: socket.socket, reason: str) -> None:
+        """Refuse a handshake; the peer may already be gone."""
+        self._m_setup_refused.inc()
+        try:
+            sock.sendall(SetupReply(False, reason=reason).encode())
+        except OSError:
+            pass    # refused *and* unreachable: nothing left to say
+        try:
+            sock.close()
+        except OSError:
+            pass
+
     def _setup_client(self, sock: socket.socket) -> None:
         set_nodelay(sock)
         try:
@@ -294,42 +378,61 @@ class AudioServer:
             sock.close()
             return
         if setup.major != PROTOCOL_MAJOR:
-            self._m_setup_refused.inc()
             log.debug("refused client %r: protocol version %d",
                       setup.client_name, setup.major)
-            sock.sendall(SetupReply(
-                False, reason="unsupported protocol version").encode())
-            sock.close()
+            self._refuse_setup(sock, "unsupported protocol version")
             return
+        granted_fresh = False
+        client = None
         with self.lock:
             if setup.resume_base:
                 # A reconnecting client asks for its old range back so
                 # its resource ids stay valid across the drop.  Resume is
                 # only safe once the old incarnation is fully gone --
                 # otherwise the journal replay would collide with its
-                # leftovers; the client backs off and retries.
+                # leftovers; the client backs off and retries.  The
+                # refusal itself is sent after the lock is released: no
+                # socket I/O under the topology lock.
                 resumable = (
                     self.resources.was_granted(setup.resume_base)
                     and not self.resources.range_in_use(setup.resume_base)
                     and all(peer.id_base != setup.resume_base
                             for peer in self.clients_snapshot()))
-                if not resumable:
-                    self._m_setup_refused.inc()
-                    log.debug("refused resume of id base %d for client %r",
-                              setup.resume_base, setup.client_name)
-                    sock.sendall(SetupReply(
-                        False, reason="resume not ready").encode())
-                    sock.close()
-                    return
-                id_base, id_mask = setup.resume_base, ID_RANGE_SIZE - 1
-                self._m_resumed.inc()
+                if resumable:
+                    id_base, id_mask = setup.resume_base, ID_RANGE_SIZE - 1
+                    self._m_resumed.inc()
             else:
                 id_base, id_mask = self.resources.grant_range()
-            client = ClientConnection(self, sock, setup.client_name, id_base)
-            with self._clients_lock:
-                self._clients.append(client)
-        sock.sendall(SetupReply(True, id_base=id_base, id_mask=id_mask,
-                                vendor="repro desktop audio").encode())
+                granted_fresh = True
+                resumable = True
+            if resumable:
+                client = ClientConnection(self, sock, setup.client_name,
+                                          id_base)
+                with self._clients_lock:
+                    self._clients.append(client)
+        if client is None:
+            log.debug("refused resume of id base %d for client %r",
+                      setup.resume_base, setup.client_name)
+            self._refuse_setup(sock, "resume not ready")
+            return
+        try:
+            sock.sendall(SetupReply(
+                True, id_base=id_base, id_mask=id_mask,
+                vendor="repro desktop audio").encode())
+        except OSError as exc:
+            # The peer dropped mid-handshake: roll the grant back so the
+            # id range is not leaked, and count it as a refusal.
+            log.debug("client %r vanished during setup: %s",
+                      setup.client_name, exc)
+            with self.lock:
+                with self._clients_lock:
+                    if client in self._clients:
+                        self._clients.remove(client)
+                if granted_fresh:
+                    self.resources.release_range(id_base)
+            self._m_setup_refused.inc()
+            client.close()
+            return
         self._m_accepted.inc()
         self._m_clients.set(len(self.clients_snapshot()))
         client.start()
@@ -340,8 +443,41 @@ class AudioServer:
 
     def dispatch_request(self, client: ClientConnection,
                          message: Message) -> None:
+        """Dispatch one already-sequenced request (tests, tooling)."""
+        if not self.dispatcher.needs_lock(message):
+            self.dispatcher.handle_unlocked(client, message)
+            return
         with self.lock:
             self.dispatcher.handle(client, message)
+            self._topology_version += 1
+
+    def dispatch_batch(self, client: ClientConnection,
+                       messages: list[Message]) -> None:
+        """Dispatch a reader's drained requests, batching the lock.
+
+        Consecutive lock-needing requests run under *one* topology-lock
+        acquisition; pure and snapshot requests in between run with no
+        lock at all.  Per-client order is preserved (one reader thread
+        per client), and the 16-bit sequence advances per message so
+        replies and errors stay in lockstep with the client's journal.
+        """
+        self.dispatcher.observe_batch(len(messages))
+        index, total = 0, len(messages)
+        while index < total:
+            if not self.dispatcher.needs_lock(messages[index]):
+                client.sequence = (client.sequence + 1) & 0xFFFF
+                self.dispatcher.handle_unlocked(client, messages[index])
+                index += 1
+                continue
+            with self.lock:
+                while (index < total
+                       and self.dispatcher.needs_lock(messages[index])):
+                    client.sequence = (client.sequence + 1) & 0xFFFF
+                    self.dispatcher.handle(client, messages[index])
+                    index += 1
+                # One bump for the whole locked run: queries issued
+                # after it see every mutation the run made.
+                self._topology_version += 1
 
     def client_disconnected(self, client: ClientConnection) -> None:
         """Tear down everything a departed client owned."""
@@ -361,6 +497,7 @@ class AudioServer:
                     resource.destroy()
             for resource_id in self.resources.owned_by(client.id_base):
                 self.resources.remove(resource_id)
+            self._topology_version += 1
         with self._clients_lock:
             if client in self._clients:
                 self._clients.remove(client)
@@ -377,13 +514,14 @@ class AudioServer:
         collection -- one snapshot, three consumers.
         """
         snapshot = self.metrics.snapshot()
+        clients = self.clients_snapshot()
         snapshot["server"] = {
             "uptime_seconds": time.monotonic() - self._started_at,
             "sample_time": self.hub.sample_time,
             "sample_rate": self.hub.sample_rate,
             "block_frames": self.hub.block_frames,
-            "clients_connected": len(self.clients_snapshot()),
+            "clients_connected": len(clients),
         }
         snapshot["clients"] = [client.connection_stats()
-                               for client in self.clients_snapshot()]
+                               for client in clients]
         return snapshot

@@ -1,10 +1,22 @@
 """Request dispatch: one handler per protocol request.
 
-Handlers run in the requesting client's reader thread while holding the
-server lock; they mutate server state, enqueue replies, and raise
+Handlers run in the requesting client's reader thread; they mutate
+server state, enqueue replies, and raise
 :class:`~repro.protocol.errors.ProtocolError` for anything invalid.  The
 dispatcher converts raised errors into asynchronous error messages
 carrying the request's sequence number (paper section 4.1).
+
+Not every request needs the topology lock (docs/PERFORMANCE.md,
+"Concurrency model"):
+
+* **pure** requests (:data:`PURE_OPCODES`) read only immutable or
+  internally-synchronized state (hub configuration, the clock, the
+  metrics registry, catalogue names) and run with no lock at all;
+* **snapshot** requests (:data:`SNAPSHOT_OPCODES`) are topology reads
+  served from the server's prebuilt :class:`~.snapshot.QuerySnapshot`;
+* everything else mutates (or reads mutable per-resource state) and
+  runs under the topology lock, batched by
+  :meth:`~.core.AudioServer.dispatch_batch`.
 """
 
 from __future__ import annotations
@@ -28,6 +40,28 @@ from .resources import DEVICE_LOUD_ID
 from .sounds import Sound
 from .vdevices import VirtualDevice, create_virtual_device
 from .wires import Wire
+
+#: Requests that read only immutable / internally-locked state and can
+#: dispatch without any server lock.
+PURE_OPCODES = frozenset({
+    OpCode.QUERY_SERVER,
+    OpCode.QUERY_DEVICE_LOUD,
+    OpCode.QUERY_AMBIENT_DOMAINS,
+    OpCode.LIST_CATALOGUE,
+    OpCode.GET_TIME,
+    OpCode.NO_OPERATION,
+    OpCode.GET_SERVER_STATS,
+})
+
+#: Topology reads served lock-free from the current QuerySnapshot.
+SNAPSHOT_OPCODES = frozenset({
+    OpCode.QUERY_LOUD,
+    OpCode.QUERY_VIRTUAL_DEVICE,
+    OpCode.QUERY_WIRE,
+})
+
+#: dispatch.batch_size bucket edges (requests per lock acquisition).
+_BATCH_EDGES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 class Dispatcher:
@@ -92,9 +126,39 @@ class Dispatcher:
         self._m_requests_total = metrics.counter("requests.total")
         self._m_errors_total = metrics.counter("request_errors.total")
         self._m_decode_errors = metrics.counter("request_errors.decode")
+        self._m_batch_size = metrics.histogram("dispatch.batch_size",
+                                               edges=_BATCH_EDGES)
+        self._m_unlocked = metrics.counter("dispatch.unlocked_requests")
+        # int opcode sets, checked per message on the dispatch path.
+        self._pure_codes = frozenset(int(op) for op in PURE_OPCODES)
+        self._snapshot_codes = frozenset(int(op) for op in SNAPSHOT_OPCODES)
+        self._snapshot_handlers = {
+            OpCode.QUERY_LOUD: self._query_loud_snapshot,
+            OpCode.QUERY_VIRTUAL_DEVICE: self._query_device_snapshot,
+            OpCode.QUERY_WIRE: self._query_wire_snapshot,
+        }
+
+    def needs_lock(self, message: Message) -> bool:
+        """Whether this request must run under the topology lock."""
+        return (message.code not in self._pure_codes
+                and message.code not in self._snapshot_codes)
+
+    def observe_batch(self, size: int) -> None:
+        self._m_batch_size.observe(size)
 
     def handle(self, client, message: Message) -> None:
         """Decode and execute one request; errors become error messages."""
+        self._run(client, message, self._handlers)
+
+    def handle_unlocked(self, client, message: Message) -> None:
+        """Execute a pure or snapshot request without the lock."""
+        self._m_unlocked.inc()
+        if message.code in self._snapshot_codes:
+            self._run(client, message, self._snapshot_handlers)
+        else:
+            self._run(client, message, self._handlers)
+
+    def _run(self, client, message: Message, handlers: dict) -> None:
         started = perf_counter()
         try:
             request = rq.decode_request(message.code, message.payload)
@@ -106,7 +170,7 @@ class Dispatcher:
                 0, str(exc)))
             return
         opcode = int(request.OPCODE)
-        handler = self._handlers[request.OPCODE]
+        handler = handlers[request.OPCODE]
         try:
             handler(client, request)
         except ProtocolError as error:
@@ -247,6 +311,22 @@ class Dispatcher:
             ports=[(port.index, int(port.direction), port.sound_type)
                    for port in device.ports],
             wires=[wire.wire_id for wire in device.wires])
+        client.send_reply(reply, client.sequence)
+
+    # Lock-free variants: identical replies, served from the prebuilt
+    # QuerySnapshot so they never wait behind the block cycle.
+
+    def _query_loud_snapshot(self, client, request: rq.QueryLoud) -> None:
+        reply = self.server.query_snapshot().loud_reply(request.loud)
+        client.send_reply(reply, client.sequence)
+
+    def _query_device_snapshot(self, client,
+                               request: rq.QueryVirtualDevice) -> None:
+        reply = self.server.query_snapshot().device_reply(request.device)
+        client.send_reply(reply, client.sequence)
+
+    def _query_wire_snapshot(self, client, request: rq.QueryWire) -> None:
+        reply = self.server.query_snapshot().wire_reply(request.wire)
         client.send_reply(reply, client.sequence)
 
     def _augment_virtual_device(self, client,

@@ -9,14 +9,35 @@ router fans each emitted event out to every client whose selection
 covers it.  Device events are matched against both the device's own id
 and its root LOUD's id, so an application can select once on the LOUD it
 built rather than on every constituent device.
+
+Two concurrency layers sit on top of the fan-out (docs/PERFORMANCE.md,
+"Concurrency model"):
+
+* **worker deferral** -- render-pool workers must not interleave
+  emissions nondeterministically, so while a worker renders a plan row
+  the router's thread-local deferral buffer captures its ``emit*``
+  calls; the pool replays each row's buffer on the hub thread in
+  plan-row order.  The edge-trigger sets (``_hungry_streams``,
+  ``_announced_streams``) are therefore only ever mutated with the
+  stream lock held, and deferred calls re-enter the normal path on
+  replay.
+* **tick batching** -- ``begin_tick_batch``/``flush_tick_batch`` bracket
+  the block cycle; events emitted inside accumulate per client and are
+  flushed as one outbound-queue append and one writer wakeup per
+  client, instead of one lock round-trip per event.
 """
 
 from __future__ import annotations
+
+import threading
 
 from ..protocol import events as ev
 from ..protocol.attributes import AttributeList
 from ..protocol.events import Event
 from ..protocol.types import EVENT_MASK_FOR_CODE, EventCode
+
+#: Per-thread deferral buffer armed by render-pool workers.
+_deferral = threading.local()
 
 
 class EventRouter:
@@ -26,6 +47,9 @@ class EventRouter:
         self.server = server
         self._hungry_streams: set[int] = set()
         self._announced_streams: set[int] = set()
+        self._stream_lock = threading.Lock()
+        #: client -> [Event], while a tick batch is open; else None.
+        self._tick_batch: dict | None = None
         metrics = server.metrics
         self._m_emitted = {
             code: metrics.counter("events.%s" % code.name)
@@ -33,6 +57,55 @@ class EventRouter:
         }
         self._m_emitted_total = metrics.counter("events.total")
         self._m_delivered = metrics.counter("events.delivered")
+        self._m_deferred = metrics.counter("events.deferred")
+        self._m_coalesced = metrics.counter("events.coalesced")
+        self._m_batch_flushes = metrics.counter("events.batch_flushes")
+
+    # -- worker deferral ------------------------------------------------------
+
+    def start_deferred(self) -> list:
+        """Arm deferral on the calling thread; returns the buffer."""
+        buffer: list = []
+        _deferral.buffer = buffer
+        return buffer
+
+    def stop_deferred(self) -> None:
+        _deferral.buffer = None
+
+    def _defer(self, fn, fn_args: tuple) -> bool:
+        """Record the call for ordered replay if this thread defers."""
+        buffer = getattr(_deferral, "buffer", None)
+        if buffer is None:
+            return False
+        buffer.append((fn, fn_args))
+        self._m_deferred.inc()
+        return True
+
+    # -- tick batching --------------------------------------------------------
+
+    def begin_tick_batch(self) -> None:
+        """Start coalescing emissions (hub thread, under the lock)."""
+        self._tick_batch = {}
+
+    def flush_tick_batch(self) -> None:
+        """Deliver each client's batched events in one writer wakeup."""
+        batch, self._tick_batch = self._tick_batch, None
+        if not batch:
+            return
+        for client, batched in batch.items():
+            client.send_events(batched)
+        self._m_batch_flushes.inc()
+
+    def _deliver(self, client, event: Event) -> None:
+        self._m_delivered.inc()
+        batch = self._tick_batch
+        if batch is not None:
+            batch.setdefault(client, []).append(event)
+            self._m_coalesced.inc()
+        else:
+            client.send_event(event)
+
+    # -- emission -------------------------------------------------------------
 
     def emit(self, code: EventCode, resource: int, detail: int = 0,
              sample_time: int = 0, args: AttributeList | None = None,
@@ -46,6 +119,9 @@ class EventRouter:
         the event is solicited out-of-band (the audio manager's
         SetRedirect), so it is delivered without a selection check.
         """
+        if self._defer(self.emit, (code, resource, detail, sample_time,
+                                   args, also_match, only_client)):
+            return
         self._m_emitted[code].inc()
         self._m_emitted_total.inc()
         needed = EVENT_MASK_FOR_CODE[code]
@@ -56,8 +132,7 @@ class EventRouter:
             if only_client is not None or any(
                     client.selection_for(match_id) & needed
                     for match_id in match_ids):
-                self._m_delivered.inc()
-                client.send_event(Event(
+                self._deliver(client, Event(
                     code, resource=resource, detail=detail,
                     sample_time=sample_time,
                     args=args or AttributeList(),
@@ -74,9 +149,12 @@ class EventRouter:
 
     def emit_stream_hungry(self, sound) -> None:
         """DATA_REQUEST flow control, edge-triggered per low-water dip."""
-        if sound.sound_id in self._hungry_streams:
+        if self._defer(self.emit_stream_hungry, (sound,)):
             return
-        self._hungry_streams.add(sound.sound_id)
+        with self._stream_lock:
+            if sound.sound_id in self._hungry_streams:
+                return
+            self._hungry_streams.add(sound.sound_id)
         self.emit(EventCode.DATA_REQUEST, sound.sound_id,
                   sample_time=self.server.hub.sample_time,
                   args=AttributeList({
@@ -86,13 +164,17 @@ class EventRouter:
     def stream_fed(self, sound) -> None:
         """The client wrote data: re-arm the low-water trigger."""
         if not sound.stream_hungry:
-            self._hungry_streams.discard(sound.sound_id)
+            with self._stream_lock:
+                self._hungry_streams.discard(sound.sound_id)
 
     def emit_stream_available(self, sound) -> None:
         """DATA_AVAILABLE: recorded data ready, edge-triggered per drain."""
-        if sound.sound_id in self._announced_streams:
+        if self._defer(self.emit_stream_available, (sound,)):
             return
-        self._announced_streams.add(sound.sound_id)
+        with self._stream_lock:
+            if sound.sound_id in self._announced_streams:
+                return
+            self._announced_streams.add(sound.sound_id)
         byte_count = sound.sound_type.frames_to_bytes(sound.frame_length)
         self.emit(EventCode.DATA_AVAILABLE, sound.sound_id,
                   sample_time=self.server.hub.sample_time,
@@ -102,4 +184,5 @@ class EventRouter:
 
     def stream_drained(self, sound) -> None:
         """The client read stream data: re-arm the available trigger."""
-        self._announced_streams.discard(sound.sound_id)
+        with self._stream_lock:
+            self._announced_streams.discard(sound.sound_id)

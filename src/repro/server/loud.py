@@ -66,6 +66,14 @@ class Loud(PropertyStore):
             found.extend(child.all_devices())
         return found
 
+    def render_row(self) -> tuple:
+        """This root's render-plan row: (command queue, flat devices).
+
+        The device tuple is frozen at plan-build time so a row can be
+        handed to a render worker without touching the mutable tree.
+        """
+        return (self.queue, tuple(self.all_devices()))
+
     def find_device(self, device_id: int):
         for device in self.all_devices():
             if device.device_id == device_id:

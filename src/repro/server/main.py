@@ -7,6 +7,7 @@ Usage::
                        [--stats-interval SECONDS]
                        [--outbound-bound MESSAGES]
                        [--stall-deadline SECONDS]
+                       [--render-workers N] [--render-min-rows ROWS]
 
 SIGUSR1 dumps a stats snapshot to stderr at any time; one more snapshot
 is dumped at shutdown.
@@ -55,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="evict a client whose socket blocks its "
                              "writer thread this long (default 5.0)")
+    parser.add_argument("--render-workers", type=int, default=None,
+                        metavar="N",
+                        help="render-pool worker threads (default: the "
+                             "core count, capped; <2 disables parallel "
+                             "rendering; env REPRO_RENDER_WORKERS)")
+    parser.add_argument("--render-min-rows", type=int, default=None,
+                        metavar="ROWS",
+                        help="render plans below this many rows stay on "
+                             "the serial path (default 4)")
     return parser
 
 
@@ -66,7 +76,9 @@ def main(argv: list[str] | None = None) -> int:
                          realtime=args.realtime,
                          catalogue_dir=args.catalogue,
                          outbound_bound=args.outbound_bound,
-                         stall_deadline=args.stall_deadline)
+                         stall_deadline=args.stall_deadline,
+                         render_workers=args.render_workers,
+                         render_min_rows=args.render_min_rows)
     server.start()
     print("audio server listening on %s:%d" % (server.host, server.port))
     stats = StatsLogger(server, interval=args.stats_interval)

@@ -27,23 +27,40 @@ class ResourceTable:
         self._resources: dict[int, object] = {}
         self._owner: dict[int, int] = {}    # resource id -> client id base
         self._next_client_base = FIRST_CLIENT_ID
+        self._released: set[int] = set()    # granted but returned unused
 
     def grant_range(self) -> tuple[int, int]:
         """Allocate an (id_base, id_mask) range for a new client."""
+        if self._released:
+            base = min(self._released)
+            self._released.remove(base)
+            return base, ID_RANGE_SIZE - 1
         base = self._next_client_base
         self._next_client_base += ID_RANGE_SIZE
         return base, ID_RANGE_SIZE - 1
+
+    def release_range(self, base: int) -> None:
+        """Return an *unused* range whose client never materialized.
+
+        Only safe when no resource was ever created in the range (a
+        setup handshake that failed after the grant); a released base
+        goes back into the pool and stops being resumable.
+        """
+        if self.was_granted(base) and not self.range_in_use(base):
+            self._released.add(base)
 
     def was_granted(self, base: int) -> bool:
         """Whether ``base`` is a range this table handed out earlier.
 
         Ranges are never re-granted to fresh clients, so a previously
         granted base can safely be *resumed* by a reconnecting client
-        once its old incarnation's resources are gone.
+        once its old incarnation's resources are gone.  Released ranges
+        are excluded: they may be re-granted and must not be resumed.
         """
         return (base >= FIRST_CLIENT_ID
                 and base < self._next_client_base
-                and (base - FIRST_CLIENT_ID) % ID_RANGE_SIZE == 0)
+                and (base - FIRST_CLIENT_ID) % ID_RANGE_SIZE == 0
+                and base not in self._released)
 
     def range_in_use(self, base: int) -> bool:
         """Whether any live resource still belongs to ``base``."""
@@ -82,6 +99,10 @@ class ResourceTable:
 
     def maybe_get(self, resource_id: int) -> object | None:
         return self._resources.get(resource_id)
+
+    def all_items(self) -> list[tuple[int, object]]:
+        """Every (id, resource) pair (query-snapshot construction)."""
+        return list(self._resources.items())
 
     def owned_by(self, client_base: int) -> list[int]:
         """All resource ids a client owns (for disconnect cleanup)."""

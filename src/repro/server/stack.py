@@ -38,6 +38,15 @@ class ActiveStack:
     def active_louds(self) -> list[Loud]:
         return [loud for loud in self._stack if loud.active]
 
+    def render_rows(self) -> list[tuple]:
+        """The precompiled render plan: one row per active root LOUD.
+
+        Rows are mutually independent (wires never cross LOUD trees),
+        which is what lets the render pool shard them across workers;
+        stack order fixes the deterministic merge order.
+        """
+        return [loud.render_row() for loud in self.active_louds()]
+
     def __len__(self) -> int:
         return len(self._stack)
 
