@@ -60,15 +60,15 @@ def pytest_configure(config):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if harness.PERF_RESULTS:
-        path = os.path.join(str(session.config.rootdir), "BENCH_PERF.json")
+    for filename, results in harness.RESULT_SINKS.items():
+        if not results:
+            continue
+        path = os.path.join(str(session.config.rootdir), filename)
         try:
             with open(path, "w") as handle:
                 json.dump({"fast_mode": harness.FAST,
-                           "results": harness.PERF_RESULTS},
-                          handle, indent=2)
-            print("\n%d perf result(s) written to %s"
-                  % (len(harness.PERF_RESULTS), path))
+                           "results": results}, handle, indent=2)
+            print("\n%d result(s) written to %s" % (len(results), path))
         except OSError as exc:
             print("\ncould not write %s: %s" % (path, exc))
     if harness.SESSION_STATS:

@@ -1,0 +1,135 @@
+"""E13 -- trunk soak: federated calls under chaos faults.
+
+Two real-time servers federated by a trunk whose TCP link rides a chaos
+proxy with latency jitter.  Scripted parties on server A place call
+after call to scripted answerers on server B for the soak window; each
+call connects, exchanges speech both ways, and hangs up.  Throughput and
+the trunk's bearer health (frames, jitter-buffer concealment, sheds)
+land in BENCH_TRUNK.json via the harness result sink.
+"""
+
+import time
+
+from repro.bench import scaled
+from repro.bench.harness import record_perf
+from repro.chaos import ChaosProxy, FaultSchedule
+from repro.dsp import tones
+from repro.hardware import HardwareConfig
+from repro.server import AudioServer
+from repro.telephony import (
+    Dial,
+    HangUp,
+    SimulatedParty,
+    Speak,
+    Wait,
+    WaitForConnect,
+)
+
+RATE = 8000
+
+#: Soak window (wall-clock: both servers pace in real time).
+SOAK_SECONDS = scaled(12.0, 3.0)
+#: Concurrent caller/answerer pairs riding the one trunk link.
+PAIRS = scaled(3, 2)
+
+
+def _loop_script(callee_number):
+    """One call: dial, connect, speak, linger, hang up -- repeated."""
+    speech = tones.sine(300.0, 0.4, RATE, amplitude=8000)
+    return [Dial(callee_number), WaitForConnect(), Speak(speech),
+            Wait(0.2), HangUp(), Wait(0.2)]
+
+
+class LoopingParty(SimulatedParty):
+    """A SimulatedParty that restarts its script when it finishes.
+
+    Each successfully connected cycle bumps ``completed`` (the caller
+    hangs up first, so it never sees ``on_far_hangup`` itself).
+    """
+
+    def __init__(self, line, script_factory, **kwargs):
+        self._script_factory = script_factory
+        self.completed = 0
+        super().__init__(line, script=script_factory(), **kwargs)
+
+    def tick(self, frames):
+        super().tick(frames)
+        if not self.script:         # script drained: start the next cycle
+            if self.connected:
+                self.completed += 1
+            self.connected = False
+            self.call_failed = False
+            self._script_started = False
+            self.heard.clear()      # bound memory over a long soak
+            self.script = list(self._script_factory())
+
+
+def test_trunk_soak_under_chaos(report):
+    schedule = FaultSchedule(seed=7, latency=0.001, jitter=0.004)
+    server_b = AudioServer(HardwareConfig(lines=()), realtime=True,
+                           trunk_listen=("127.0.0.1", 0),
+                           trunk_name="soak-b")
+    server_b.start()
+    proxy = ChaosProxy(("127.0.0.1", server_b.trunk.port),
+                       schedule=schedule).start()
+    server_a = AudioServer(HardwareConfig(lines=()), realtime=True,
+                           trunk_routes=[("5552", "127.0.0.1",
+                                          proxy.port)],
+                           trunk_name="soak-a")
+    server_a.start()
+    try:
+        assert server_a.trunk.wait_connected(10.0)
+        callers = []
+        speech = tones.sine(500.0, 0.3, RATE, amplitude=8000)
+        with server_b.lock:
+            for index in range(PAIRS):
+                answer_line = server_b.hub.exchange.add_line(
+                    "5552%02d" % index)
+                server_b.hub.exchange.add_party(LoopingParty(
+                    answer_line, lambda: [Speak(speech)],
+                    answer_after_rings=1))
+        with server_a.lock:
+            for index in range(PAIRS):
+                caller_line = server_a.hub.exchange.add_line(
+                    "5551%02d" % index)
+                party = LoopingParty(
+                    caller_line,
+                    lambda i=index: _loop_script("5552%02d" % i),
+                    answer_after_rings=None)
+                callers.append(party)
+                server_a.hub.exchange.add_party(party)
+
+        started = time.monotonic()
+        time.sleep(SOAK_SECONDS)
+        elapsed = time.monotonic() - started
+
+        completed = sum(party.completed for party in callers)
+        snapshot = server_a.stats_snapshot()
+        trunk_counters = {name: value
+                          for name, value in snapshot["counters"].items()
+                          if name.startswith("trunk.")}
+        calls_per_second = completed / elapsed
+        record_perf("trunk.soak.calls", calls_per_second,
+                    sink="BENCH_TRUNK.json",
+                    completed_calls=completed,
+                    soak_seconds=round(elapsed, 2),
+                    pairs=PAIRS,
+                    chaos={"latency": schedule.latency,
+                           "jitter": schedule.jitter},
+                    **trunk_counters)
+        report.row("E13", "federated calls completed under chaos",
+                   "%d (%.2f /s)" % (completed, calls_per_second),
+                   "calls survive a jittery trunk")
+        report.row("E13", "bearer frames across trunk",
+                   "%d out / %d in"
+                   % (trunk_counters.get("trunk.frames_out", 0),
+                      trunk_counters.get("trunk.frames_in", 0)),
+                   "nonzero both directions")
+        # The soak must actually complete calls and move bearer audio.
+        assert completed > 0
+        assert trunk_counters.get("trunk.frames_out", 0) > 0
+        assert trunk_counters.get("trunk.frames_in", 0) > 0
+    finally:
+        server_a.stop()
+        proxy.stop()
+        server_b.stop()

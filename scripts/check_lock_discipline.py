@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Lock-discipline lint: no blocking I/O under a server lock.
 
-Walks every module under ``src/repro/server/`` and flags calls that can
+Walks every module under ``src/repro/server/`` and
+``src/repro/trunk/`` and flags calls that can
 block indefinitely -- socket operations (``sendall``, ``send``,
 ``recv``, ``accept``, ``connect``) and ``time.sleep`` -- made lexically
 inside a ``with self.lock:`` (or any ``*.lock`` / ``*_lock``) block.
@@ -25,7 +26,11 @@ BLOCKING_ATTRS = frozenset({
     "sendall", "send", "sendto", "recv", "recv_into", "accept", "connect",
 })
 
-SERVER_DIR = Path(__file__).resolve().parent.parent / "src/repro/server"
+_SRC = Path(__file__).resolve().parent.parent / "src/repro"
+#: Directories whose code runs under (or takes) the server's locks: the
+#: server proper, and the trunk gateway whose tick runs inside the hub's
+#: block cycle under the topology lock.
+SCAN_DIRS = (_SRC / "server", _SRC / "trunk")
 
 
 def _is_lock_expr(node: ast.expr) -> bool:
@@ -86,16 +91,18 @@ def check_file(path: Path) -> list[tuple[Path, int, str]]:
 
 def main() -> int:
     violations = []
-    for path in sorted(SERVER_DIR.rglob("*.py")):
-        violations.extend(check_file(path))
+    checked = 0
+    root = _SRC.parent.parent
+    for scan_dir in SCAN_DIRS:
+        for path in sorted(scan_dir.rglob("*.py")):
+            violations.extend(check_file(path))
+            checked += 1
     for path, line, reason in violations:
-        print("%s:%d: %s" % (path.relative_to(SERVER_DIR.parent.parent.parent),
-                             line, reason))
+        print("%s:%d: %s" % (path.relative_to(root), line, reason))
     if violations:
         print("%d lock-discipline violation(s)" % len(violations))
         return 1
-    print("lock discipline ok (%d server modules checked)"
-          % len(list(SERVER_DIR.rglob("*.py"))))
+    print("lock discipline ok (%d modules checked)" % checked)
     return 0
 
 

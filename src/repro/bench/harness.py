@@ -43,12 +43,23 @@ CURRENT_LABEL: str | None = None
 #: across commits.
 PERF_RESULTS: dict[str, dict] = {}
 
+#: Per-file result sinks: filename -> {name -> record}.  Each non-empty
+#: sink is written as its own JSON file at session end, so a subsystem
+#: bench (e.g. the trunk soak's BENCH_TRUNK.json) gets a stable artifact
+#: CI can diff without mixing it into the main perf table.
+RESULT_SINKS: dict[str, dict[str, dict]] = {"BENCH_PERF.json": PERF_RESULTS}
 
-def record_perf(name: str, ops_per_sec: float, **extra) -> None:
-    """Register one throughput measurement for BENCH_PERF.json."""
+
+def record_perf(name: str, ops_per_sec: float,
+                sink: str = "BENCH_PERF.json", **extra) -> None:
+    """Register one throughput measurement for a result file.
+
+    The default sink is BENCH_PERF.json; passing ``sink`` routes the
+    record to another session artifact instead.
+    """
     record = {"ops_per_sec": round(float(ops_per_sec), 3)}
     record.update(extra)
-    PERF_RESULTS[name] = record
+    RESULT_SINKS.setdefault(sink, {})[name] = record
 
 
 @dataclass

@@ -41,12 +41,14 @@ from ..hardware.hub import AudioHub
 from ..obs import MICROSECOND_BUCKETS, MetricsRegistry
 from ..protocol.setup import ID_RANGE_SIZE, SetupReply, SetupRequest
 from ..protocol.types import MULAW_8K, PROTOCOL_MAJOR
+from ..obs import NULL_REGISTRY
 from ..protocol.wire import (
     ConnectionClosed,
     Message,
     WireFormatError,
     set_nodelay,
 )
+from ..trunk import TrunkGateway
 from .clients import DEFAULT_OUTBOUND_BOUND, ClientConnection
 from .devices import build_wrappers
 from .dispatch import Dispatcher
@@ -74,7 +76,10 @@ class AudioServer:
                  outbound_bound: int = DEFAULT_OUTBOUND_BOUND,
                  stall_deadline: float = 5.0,
                  render_workers: int | None = None,
-                 render_min_rows: int | None = None) -> None:
+                 render_min_rows: int | None = None,
+                 trunk_listen: tuple[str, int] | None = None,
+                 trunk_routes: list[tuple[str, str, int]] | None = None,
+                 trunk_name: str = "") -> None:
         self.hub = hub or AudioHub(config, realtime=realtime)
         #: Graceful-degradation knobs (docs/RELIABILITY.md): per-client
         #: outbound queue bound, and how long one socket write may block
@@ -144,6 +149,25 @@ class AudioServer:
         self._running = False
         self._build_device_loud()
         self._build_catalogues(catalogue_dir)
+        # Telephony observability: the exchange is built before any
+        # server exists (often by the hub), so the first server that
+        # wraps it lends it the real registry.
+        exchange = self.hub.exchange
+        if exchange.metrics is NULL_REGISTRY:
+            exchange.attach_metrics(metrics)
+        #: The trunk gateway (docs/TELEPHONY.md): federates this
+        #: server's exchange with remote peers.  Built only when routes
+        #: or a trunk listener are configured; its tick runs as an
+        #: exchange party inside the hub's block cycle.
+        self.trunk: TrunkGateway | None = None
+        if trunk_listen is not None or trunk_routes:
+            self.trunk = TrunkGateway(
+                exchange, name=trunk_name or ("%s:%d" % (host, port)),
+                metrics=metrics)
+            if trunk_listen is not None:
+                self.trunk.listen(*trunk_listen)
+            for prefix, route_host, route_port in (trunk_routes or []):
+                self.trunk.add_route(prefix, route_host, route_port)
         # The whole hub block cycle runs under the server lock so that
         # exchange and device callbacks are serialized against dispatch.
         self.hub.external_lock = self.lock
@@ -306,6 +330,8 @@ class AudioServer:
         self._listener.bind((self.host, self.port))
         self.port = self._listener.getsockname()[1]
         self._listener.listen(32)
+        if self.trunk is not None:
+            self.trunk.start()
         if start_hub:
             self.hub.start()
         self._accept_thread = threading.Thread(
@@ -327,6 +353,8 @@ class AudioServer:
                 pass
         for client in self.clients_snapshot():
             client.close()
+        if self.trunk is not None:
+            self.trunk.stop()
         self.hub.stop()
         self.render_pool.shutdown()
         if self._accept_thread is not None:
@@ -524,4 +552,16 @@ class AudioServer:
         }
         snapshot["clients"] = [client.connection_stats()
                                for client in clients]
+        if self.trunk is not None:
+            snapshot["trunk"] = {
+                "listen_port": self.trunk.port,
+                "live_links": self.trunk.live_link_count(),
+                "routes": [
+                    {"prefix": route.prefix,
+                     "endpoint": "%s:%d" % (route.host, route.port),
+                     "connected": route.live_link() is not None}
+                    for route in self.trunk.routes],
+                "buffered_audio_samples":
+                    self.trunk.buffered_audio_samples(),
+            }
         return snapshot

@@ -8,9 +8,17 @@ Usage::
                        [--outbound-bound MESSAGES]
                        [--stall-deadline SECONDS]
                        [--render-workers N] [--render-min-rows ROWS]
+                       [--trunk-listen [HOST:]PORT]
+                       [--trunk-route PREFIX=HOST:PORT]...
+                       [--trunk-name NAME]
 
 SIGUSR1 dumps a stats snapshot to stderr at any time; one more snapshot
 is dumped at shutdown.
+
+Trunking (docs/TELEPHONY.md): ``--trunk-listen`` accepts trunk
+connections from peer servers; each ``--trunk-route`` homes a number
+prefix at a peer, so local clients can dial numbers that live on other
+servers' exchanges.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import threading
 from ..hardware.config import HardwareConfig
 from ..obs import StatsLogger
 from ..protocol.types import DEFAULT_PORT
+from ..trunk import parse_route
 from .core import AudioServer
 
 
@@ -65,22 +74,51 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="ROWS",
                         help="render plans below this many rows stay on "
                              "the serial path (default 4)")
+    parser.add_argument("--trunk-listen", default=None,
+                        metavar="[HOST:]PORT",
+                        help="accept inter-server telephony trunks on "
+                             "this address (default host 127.0.0.1)")
+    parser.add_argument("--trunk-route", action="append", default=[],
+                        metavar="PREFIX=HOST:PORT", dest="trunk_routes",
+                        help="home numbers starting with PREFIX at the "
+                             "peer server's trunk listener (repeatable)")
+    parser.add_argument("--trunk-name", default="",
+                        help="name announced in the trunk handshake "
+                             "(default host:port)")
     return parser
+
+
+def parse_trunk_listen(text: str) -> tuple[str, int]:
+    """Parse a ``[HOST:]PORT`` trunk listen address."""
+    host, _, port = text.rpartition(":")
+    if not port.isdigit():
+        raise ValueError(
+            "trunk listen address must be [HOST:]PORT: %r" % text)
+    return (host or "127.0.0.1", int(port))
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     config = HardwareConfig(sample_rate=args.rate, block_frames=args.block,
                             speakerphone=args.speakerphone)
+    trunk_listen = (parse_trunk_listen(args.trunk_listen)
+                    if args.trunk_listen is not None else None)
+    trunk_routes = [parse_route(route) for route in args.trunk_routes]
     server = AudioServer(config, host=args.host, port=args.port,
                          realtime=args.realtime,
                          catalogue_dir=args.catalogue,
                          outbound_bound=args.outbound_bound,
                          stall_deadline=args.stall_deadline,
                          render_workers=args.render_workers,
-                         render_min_rows=args.render_min_rows)
+                         render_min_rows=args.render_min_rows,
+                         trunk_listen=trunk_listen,
+                         trunk_routes=trunk_routes,
+                         trunk_name=args.trunk_name)
     server.start()
     print("audio server listening on %s:%d" % (server.host, server.port))
+    if server.trunk is not None and server.trunk.port is not None:
+        print("trunk listening on %s:%d"
+              % (server.trunk.host, server.trunk.port))
     stats = StatsLogger(server, interval=args.stats_interval)
     stats.start()
     stop = threading.Event()

@@ -11,6 +11,7 @@ from .party import (
     Dial,
     HangUp,
     SendDtmf,
+    SendDtmfSignaled,
     SimulatedParty,
     Speak,
     Step,
@@ -21,6 +22,7 @@ from .party import (
 
 __all__ = [
     "Call", "CallState", "CallerInfo", "Dial", "HangUp", "HookState",
-    "Line", "SendDtmf", "SimulatedParty", "Speak", "Step",
-    "TelephoneExchange", "Wait", "WaitForConnect", "WaitForSilence",
+    "Line", "SendDtmf", "SendDtmfSignaled", "SimulatedParty", "Speak",
+    "Step", "TelephoneExchange", "Wait", "WaitForConnect",
+    "WaitForSilence",
 ]

@@ -37,7 +37,13 @@ class CallerInfo:
 class Line:
     """One subscriber line: number, hook state, block-granular audio."""
 
-    def __init__(self, number: str, exchange=None) -> None:
+    #: Default inbound buffering bound, in seconds of audio.  A stalled
+    #: reader sheds the oldest blocks past this (the exchange counts
+    #: them as ``telephony.line.dropped_blocks``).
+    MAX_BUFFER_SECONDS = 1.28
+
+    def __init__(self, number: str, exchange=None,
+                 max_buffer_seconds: float | None = None) -> None:
         self.number = number
         self.exchange = exchange
         self.hook = HookState.ON_HOOK
@@ -45,8 +51,18 @@ class Line:
         self.caller_info: CallerInfo | None = None
         #: Numbers this line forwards to when it does not answer.
         self.forward_to: str | None = None
+        self.max_buffer_seconds = (self.MAX_BUFFER_SECONDS
+                                   if max_buffer_seconds is None
+                                   else max_buffer_seconds)
         self._inbound: deque[np.ndarray] = deque()
+        self._buffered = 0      # samples currently in _inbound
         self._listeners: list = []
+
+    def _sample_rate(self) -> int:
+        return self.exchange.sample_rate if self.exchange is not None else 8000
+
+    def _max_buffered_samples(self) -> int:
+        return int(self.max_buffer_seconds * self._sample_rate())
 
     # -- signaling ----------------------------------------------------------
 
@@ -75,7 +91,7 @@ class Line:
         self._notify("on_answered")
 
     def far_end_hung_up(self) -> None:
-        self._inbound.clear()
+        self._clear_inbound()
         self._notify("on_far_hangup")
 
     def call_failed(self, reason: str) -> None:
@@ -97,7 +113,7 @@ class Line:
         if self.hook is HookState.ON_HOOK:
             return
         self.hook = HookState.ON_HOOK
-        self._inbound.clear()
+        self._clear_inbound()
         if self.exchange is not None:
             self.exchange.line_on_hook(self)
 
@@ -107,6 +123,20 @@ class Line:
             raise RuntimeError("cannot dial on hook")
         if self.exchange is not None:
             self.exchange.dial(self, number)
+
+    def send_dtmf(self, digits: str) -> None:
+        """Send mid-call touch tones through the signaling path.
+
+        Unlike mixing tones into :meth:`send_audio` (which still works,
+        and is what real handsets do), signaled DTMF crosses the
+        exchange -- and any trunk -- as a signaling message and is
+        regenerated in-band at the far line, surviving codecs and
+        jitter concealment exactly.
+        """
+        if self.hook is not HookState.OFF_HOOK:
+            raise RuntimeError("cannot send DTMF on hook")
+        if digits and self.exchange is not None:
+            self.exchange.route_dtmf(self, digits)
 
     # -- audio ---------------------------------------------------------------
 
@@ -119,10 +149,24 @@ class Line:
     def deliver_audio(self, samples: np.ndarray) -> None:
         """Called by the exchange: a block arrived from the far end."""
         self._inbound.append(samples)
-        # Bound buffering to about a second at telephone rate so a stalled
-        # reader does not accumulate unbounded audio.
-        while len(self._inbound) > 64:
-            self._inbound.popleft()
+        self._buffered += len(samples)
+        # Bound buffering (max_buffer_seconds at the exchange rate) so a
+        # stalled reader does not accumulate unbounded audio; shed the
+        # oldest blocks and count them.
+        bound = self._max_buffered_samples()
+        dropped = 0
+        while self._buffered > bound and len(self._inbound) > 1:
+            shed = self._inbound.popleft()
+            self._buffered -= len(shed)
+            dropped += 1
+        if dropped and self.exchange is not None:
+            self.exchange._count_dropped_blocks(dropped)
+
+    def deliver_dtmf(self, digits: str) -> None:
+        """Called by the exchange: regenerate signaled digits in-band."""
+        from ..dsp.dtmf import generate_digits
+
+        self.deliver_audio(generate_digits(digits, self._sample_rate()))
 
     def receive_audio(self, frames: int) -> np.ndarray:
         """The next ``frames`` received samples (silence-padded)."""
@@ -136,5 +180,10 @@ class Line:
                 self._inbound.popleft()
             else:
                 self._inbound[0] = block[take:]
+            self._buffered -= take
             filled += take
         return out
+
+    def _clear_inbound(self) -> None:
+        self._inbound.clear()
+        self._buffered = 0

@@ -108,6 +108,22 @@ class SendDtmf(Speak):
 
 
 @dataclass
+class SendDtmfSignaled(Step):
+    """Press touch-tone keys through the exchange signaling path.
+
+    The digits cross the exchange (and any trunk) as signaling and are
+    regenerated in-band at the far line -- see
+    :meth:`~repro.telephony.line.Line.send_dtmf`.
+    """
+
+    digits: str
+
+    def tick(self, party: "SimulatedParty", frames: int) -> bool:
+        party.line.send_dtmf(self.digits)
+        return True
+
+
+@dataclass
 class HangUp(Step):
     """Go on hook."""
 

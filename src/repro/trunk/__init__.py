@@ -1,0 +1,35 @@
+"""Inter-server telephony trunks: federated exchanges over TCP.
+
+A :class:`TrunkGateway` attached to a server's
+:class:`~repro.telephony.exchange.TelephoneExchange` makes numbers homed
+on *other* servers dialable here: a static prefix route table maps
+numbers to peer gateways, signaling (SETUP/ALERTING/ANSWER/RELEASE/DTMF)
+and sequence-numbered mu-law bearer audio travel a compact
+length-prefixed wire format, and remote calls surface locally as
+Line-compatible endpoints so every exchange semantic works unchanged.
+See docs/TELEPHONY.md for the model and failure semantics.
+"""
+
+from .gateway import (
+    InboundLeg,
+    RemoteLine,
+    TrunkGateway,
+    TrunkRoute,
+    parse_route,
+)
+from .jitter import JitterBuffer
+from .link import TrunkLink
+from .wire import (
+    FrameType,
+    Handshake,
+    TrunkFrame,
+    TrunkProtocolError,
+    decode_frame,
+    read_frame,
+)
+
+__all__ = [
+    "FrameType", "Handshake", "InboundLeg", "JitterBuffer", "RemoteLine",
+    "TrunkFrame", "TrunkGateway", "TrunkLink", "TrunkProtocolError",
+    "TrunkRoute", "decode_frame", "parse_route", "read_frame",
+]

@@ -1,0 +1,652 @@
+"""The trunk gateway: one exchange's window onto its peers.
+
+A :class:`TrunkGateway` federates the local
+:class:`~repro.telephony.exchange.TelephoneExchange` with the exchanges
+of other audio servers over TCP trunk links, presenting remote calls as
+ordinary Line-compatible endpoints so every exchange semantic -- busy
+treatment, no-answer timers, forwarding, caller ID, hangup supervision
+-- works unchanged end to end:
+
+* an **outbound leg** (:class:`RemoteLine`) fronts a remote *callee*:
+  ringing it sends SETUP down the route's link, and ANSWER / RELEASE
+  frames come back as answer / failure signaling;
+* an **inbound leg** (:class:`InboundLeg`) fronts the remote *caller*:
+  a SETUP frame dials the local number exactly as a local line would,
+  and local signaling (answered, busy, hangup) flows back as frames.
+
+Routing is a static longest-prefix table (``--trunk-route
+PREFIX=host:port``): numbers no local line owns are matched against the
+table when dialed or forwarded.  Each route owns at most one link,
+reconnected after loss with the Alib
+:class:`~repro.alib.connection.RetryPolicy` backoff (attempted from
+short-lived connector threads; the tick never blocks).  Bearer audio is
+carried as sequence-numbered mu-law frames through a per-call
+:class:`~repro.trunk.jitter.JitterBuffer` on the receiving side.
+
+All signaling and bearer handling runs in :meth:`tick`, which the
+exchange drives inside the audio block cycle -- link reader threads only
+park parsed frames, so exchange state is mutated under one clock (and,
+on a server, under the topology lock).  On link loss every call riding
+the link is released mid-call on both sides within a tick.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+import time
+
+import numpy as np
+
+from ..alib.connection import RetryPolicy
+from ..dsp.encodings import mulaw_decode, mulaw_encode
+from ..obs import NULL_REGISTRY
+from ..protocol.wire import ConnectionClosed
+from ..telephony.line import HookState, Line
+from .jitter import JitterBuffer
+from .link import (
+    DEFAULT_KEEPALIVE_INTERVAL,
+    DEFAULT_OUTBOUND_BOUND,
+    TrunkLink,
+)
+from .wire import FrameType, Handshake, TrunkFrame, TrunkProtocolError, \
+    read_frame
+
+log = logging.getLogger(__name__)
+
+#: Cap on the exponential backoff exponent (RetryPolicy caps the delay
+#: itself; this just keeps ``multiplier ** attempt`` bounded).
+_MAX_BACKOFF_EXPONENT = 16
+
+
+def parse_route(text: str) -> tuple[str, str, int]:
+    """Parse a ``PREFIX=host:port`` route argument."""
+    prefix, _, endpoint = text.partition("=")
+    host, _, port = endpoint.rpartition(":")
+    if not prefix or not host or not port.isdigit():
+        raise ValueError("route must look like PREFIX=host:port: %r" % text)
+    return prefix, host, int(port)
+
+
+class TrunkRoute:
+    """One static route: a number prefix homed at a peer gateway."""
+
+    def __init__(self, prefix: str, host: str, port: int) -> None:
+        self.prefix = prefix
+        self.host = host
+        self.port = port
+        self.link: TrunkLink | None = None
+        self.connecting = False
+        self.attempt = 0
+        self.next_attempt_at = 0.0
+        self.ever_connected = False
+
+    def live_link(self) -> TrunkLink | None:
+        link = self.link
+        if link is not None and link.alive:
+            return link
+        return None
+
+
+class _TrunkLeg(Line):
+    """Line-compatible endpoint fronting the far side of a trunk call."""
+
+    def __init__(self, number: str, exchange, gateway: "TrunkGateway",
+                 link: TrunkLink | None, call_id: int) -> None:
+        super().__init__(number, exchange)
+        self.gateway = gateway
+        self.link = link
+        self.call_id = call_id
+        self.alerting = False
+        self.released = False
+        self.jitter = gateway.build_jitter()
+        self._seq_out = 0
+
+    # -- frames out -----------------------------------------------------------
+
+    def _send(self, frame: TrunkFrame) -> None:
+        self.gateway.send_on(self.link, frame)
+
+    def _send_release(self, reason: str) -> None:
+        if self.released:
+            return
+        self.released = True
+        self._send(TrunkFrame(FrameType.RELEASE, self.call_id,
+                              reason=reason))
+        self.gateway.deregister_leg(self)
+
+    # -- exchange-facing audio/signaling overrides ----------------------------
+
+    def deliver_audio(self, samples: np.ndarray) -> None:
+        """The local party spoke: relay the block as a bearer frame."""
+        payload = mulaw_encode(np.asarray(samples, dtype=np.int16))
+        frame = TrunkFrame(FrameType.AUDIO, self.call_id,
+                           seq=self._seq_out, payload=payload)
+        self._seq_out += 1
+        self._send(frame)
+
+    def deliver_dtmf(self, digits: str) -> None:
+        """The local party pressed keys: relay them as signaling."""
+        self._send(TrunkFrame(FrameType.DTMF, self.call_id, digits=digits))
+
+
+class RemoteLine(_TrunkLeg):
+    """Outbound leg: the remote *callee* as seen by the local exchange."""
+
+    def start_ringing(self, caller_info) -> None:
+        self.ringing = True
+        self.caller_info = caller_info
+        if self.link is None or not self.link.alive:
+            # The route is down right now: fail the call instead of
+            # ringing into the void.  The call is already registered, so
+            # the release path works synchronously from inside dial().
+            self.ringing = False
+            self.released = True
+            self.gateway.deregister_leg(self)
+            self.exchange.remote_released(self, "trunk down")
+            return
+        self.gateway.register_outbound(self)
+        self._send(TrunkFrame(
+            FrameType.SETUP, self.call_id, number=self.number,
+            caller_id=caller_info.number,
+            forwarded_from=caller_info.forwarded_from or ""))
+
+    def stop_ringing(self) -> None:
+        """The caller abandoned (or a timer fired) while we alerted."""
+        if self.ringing:
+            self.ringing = False
+            self._send_release("abandoned")
+
+    def far_end_hung_up(self) -> None:
+        """The local caller hung up on the connected call."""
+        self._send_release("hangup")
+
+    # Called by the gateway when the matching frames arrive.
+
+    def remote_answered(self) -> None:
+        self.ringing = False
+        self.hook = HookState.OFF_HOOK
+        self.exchange.line_off_hook(self)
+
+    def remote_released(self, reason: str) -> None:
+        self.ringing = False
+        self.released = True
+        self.exchange.remote_released(self, reason or "released")
+
+
+class InboundLeg(_TrunkLeg):
+    """Inbound leg: the remote *caller* as seen by the local exchange."""
+
+    def __init__(self, number: str, exchange, gateway: "TrunkGateway",
+                 link: TrunkLink, call_id: int) -> None:
+        super().__init__(number, exchange, gateway, link, call_id)
+        self.hook = HookState.OFF_HOOK    # the remote caller is off hook
+
+    def far_end_answered(self) -> None:
+        self._send(TrunkFrame(FrameType.ANSWER, self.call_id))
+
+    def far_end_hung_up(self) -> None:
+        """The local callee hung up the connected call."""
+        self._send_release("hangup")
+
+    def call_failed(self, reason: str) -> None:
+        """The local dial failed (busy, bad number, no answer...)."""
+        self._send_release(reason)
+
+    def remote_released(self, reason: str) -> None:
+        """The remote caller went away: hang this leg up locally."""
+        self.released = True
+        if self.hook is HookState.OFF_HOOK:
+            self.on_hook()
+
+
+class TrunkGateway:
+    """Federates the local exchange with remote peers over trunk links."""
+
+    def __init__(self, exchange, *, name: str = "",
+                 metrics=None,
+                 keepalive_interval: float = DEFAULT_KEEPALIVE_INTERVAL,
+                 outbound_bound: int = DEFAULT_OUTBOUND_BOUND,
+                 jitter_depth_seconds: float = 0.32,
+                 jitter_prime_seconds: float = 0.04,
+                 retry: RetryPolicy | None = None,
+                 connect_timeout: float = 2.0) -> None:
+        self.exchange = exchange
+        self.name = name or "trunk-gateway"
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.keepalive_interval = keepalive_interval
+        self.outbound_bound = outbound_bound
+        self.jitter_depth_seconds = jitter_depth_seconds
+        self.jitter_prime_seconds = jitter_prime_seconds
+        self.retry = retry or RetryPolicy(attempts=1, base_delay=0.05,
+                                          max_delay=2.0)
+        self.connect_timeout = connect_timeout
+        self.host: str | None = None
+        self.port: int | None = None
+        self._routes: list[TrunkRoute] = []
+        self._accepted: list[TrunkLink] = []
+        #: link -> {call_id -> leg}; all mutation happens on the tick
+        #: thread or under _state_lock.
+        self._legs: dict[TrunkLink, dict[int, _TrunkLeg]] = {}
+        self._state_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+        self._started = False
+        m = self.metrics
+        self._m_frames_in = m.counter("trunk.frames_in")
+        self._m_frames_out = m.counter("trunk.frames_out")
+        self._m_signaling_in = m.counter("trunk.signaling_in")
+        self._m_signaling_out = m.counter("trunk.signaling_out")
+        self._m_connects = m.counter("trunk.connects")
+        self._m_reconnects = m.counter("trunk.reconnects")
+        self._m_setup_refused = m.counter("trunk.setup_refused")
+        self._m_calls_in = m.counter("trunk.calls.inbound")
+        self._m_calls_out = m.counter("trunk.calls.outbound")
+        self._m_links = m.gauge("trunk.links")
+        self._m_active = m.gauge("trunk.active_remote_calls")
+        self._m_jitter_depth = m.gauge("trunk.jitter.depth_samples")
+        self._m_late = m.counter("trunk.jitter.late_frames")
+        self._m_lost = m.counter("trunk.jitter.lost_frames")
+        self._m_underruns = m.counter("trunk.jitter.underruns")
+        self._m_jitter_shed = m.counter("trunk.jitter.shed_samples")
+        self._m_outbound_shed = m.counter("trunk.outbound.shed_audio_frames")
+        exchange.add_trunk_resolver(self)
+        exchange.add_party(self)
+
+    # -- configuration --------------------------------------------------------
+
+    def add_route(self, prefix: str, host: str, port: int) -> TrunkRoute:
+        route = TrunkRoute(prefix, host, port)
+        self._routes.append(route)
+        if self._started:
+            self._kick_route(route)
+        return route
+
+    def listen(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Configure (and, if already started, open) the trunk listener."""
+        self.host = host
+        self.port = port
+        if self._started:
+            self._open_listener()
+
+    @property
+    def routes(self) -> list[TrunkRoute]:
+        return list(self._routes)
+
+    def build_jitter(self) -> JitterBuffer:
+        rate = self.exchange.sample_rate
+        return JitterBuffer(
+            max_depth_samples=max(1, int(self.jitter_depth_seconds * rate)),
+            prime_samples=max(0, int(self.jitter_prime_seconds * rate)))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "TrunkGateway":
+        if self._started:
+            return self
+        self._started = True
+        self._running = True
+        if self.host is not None:
+            self._open_listener()
+        for route in self._routes:
+            self._kick_route(route)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        self._started = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        for link in self._all_links():
+            link.close()
+        self.exchange.remove_trunk_resolver(self)
+        self.exchange.remove_party(self)
+
+    def _open_listener(self) -> None:
+        if self._listener is not None:
+            return
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port or 0))
+        listener.listen(16)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="trunk-accept", daemon=True)
+        self._accept_thread.start()
+
+    def connected(self) -> bool:
+        """Every configured route currently has a live link."""
+        return all(route.live_link() is not None for route in self._routes)
+
+    def wait_connected(self, timeout: float = 5.0) -> bool:
+        """Wall-clock wait for every route to come up (tests, tools)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.connected():
+                return True
+            time.sleep(0.005)
+        return self.connected()
+
+    # -- resolver API (called by the exchange under its lock) -----------------
+
+    def route_for(self, number: str) -> TrunkRoute | None:
+        best = None
+        for route in self._routes:
+            if number.startswith(route.prefix):
+                if best is None or len(route.prefix) > len(best.prefix):
+                    best = route
+        return best
+
+    def outbound_leg(self, number: str) -> Line | None:
+        """A fresh outbound leg for ``number``, if a route covers it."""
+        route = self.route_for(number)
+        if route is None:
+            return None
+        link = route.live_link()
+        call_id = link.allocate_call_id() if link is not None else 0
+        return RemoteLine(number, self.exchange, self, link, call_id)
+
+    # -- leg registry ---------------------------------------------------------
+
+    def register_outbound(self, leg: RemoteLine) -> None:
+        with self._state_lock:
+            self._legs.setdefault(leg.link, {})[leg.call_id] = leg
+        self._m_calls_out.inc()
+        self._m_active.set(self._leg_count())
+
+    def deregister_leg(self, leg: _TrunkLeg) -> None:
+        with self._state_lock:
+            by_call = self._legs.get(leg.link)
+            if by_call is not None and by_call.get(leg.call_id) is leg:
+                del by_call[leg.call_id]
+                if not by_call:
+                    self._legs.pop(leg.link, None)
+        self._fold_leg_stats(leg)
+        self._m_active.set(self._leg_count())
+
+    def _leg_count(self) -> int:
+        with self._state_lock:
+            return sum(len(by_call) for by_call in self._legs.values())
+
+    # -- frames out -----------------------------------------------------------
+
+    def send_on(self, link: TrunkLink | None, frame: TrunkFrame) -> None:
+        if link is None or not link.alive:
+            return
+        if link.send(frame):
+            if frame.type is FrameType.AUDIO:
+                self._m_frames_out.inc()
+            else:
+                self._m_signaling_out.inc()
+
+    # -- the tick (runs inside the exchange's block cycle) --------------------
+
+    def tick(self, frames: int) -> None:
+        now = time.monotonic()
+        self._reap_dead_links(now)
+        for route in self._routes:
+            if route.live_link() is None:
+                self._kick_route(route, now)
+        for link in self._all_links():
+            while link.inbound:
+                self._handle_frame(link, link.inbound.popleft())
+        self._pump_audio(frames)
+        self._update_gauges()
+
+    def _all_links(self) -> list[TrunkLink]:
+        with self._state_lock:
+            links = [route.link for route in self._routes
+                     if route.link is not None]
+            links.extend(self._accepted)
+        return links
+
+    def _reap_dead_links(self, now: float) -> None:
+        for link in self._all_links():
+            if link.alive and link.stale(now):
+                log.warning("trunk link %s stale (%.1fs silent): closing",
+                            link.name, now - link.last_rx)
+                link.close()
+        with self._state_lock:
+            dead_accepted = [link for link in self._accepted
+                             if not link.alive]
+            for link in dead_accepted:
+                self._accepted.remove(link)
+            dead_routed = [route.link for route in self._routes
+                           if route.link is not None
+                           and not route.link.alive]
+        for link in dead_accepted + dead_routed:
+            self._release_all_on(link, "trunk down")
+
+    def _release_all_on(self, link: TrunkLink, reason: str) -> None:
+        with self._state_lock:
+            legs = list(self._legs.pop(link, {}).values())
+        for leg in legs:
+            self._fold_leg_stats(leg)
+            leg.released = True
+            if isinstance(leg, RemoteLine):
+                leg.ringing = False
+                self.exchange.remote_released(leg, reason)
+            else:
+                leg.remote_released(reason)
+        if legs:
+            self._m_active.set(self._leg_count())
+
+    # -- route (re)connection -------------------------------------------------
+
+    def _kick_route(self, route: TrunkRoute,
+                    now: float | None = None) -> None:
+        if not self._running:
+            return
+        reference = time.monotonic() if now is None else now
+        with self._state_lock:
+            if route.connecting or reference < route.next_attempt_at:
+                return
+            route.connecting = True
+        threading.Thread(target=self._connect_route, args=(route,),
+                         name="trunk-connect-%s" % route.prefix,
+                         daemon=True).start()
+
+    def _connect_route(self, route: TrunkRoute) -> None:
+        local = Handshake(self.name,
+                          sample_rate=self.exchange.sample_rate)
+        try:
+            sock = socket.create_connection(
+                (route.host, route.port), timeout=self.connect_timeout)
+        except OSError as exc:
+            self._connect_failed(route, str(exc))
+            return
+        try:
+            sock.settimeout(self.connect_timeout)
+            sock.sendall(local.encode())
+            peer = Handshake.read_from(sock)
+            problem = local.compatible_with(peer)
+            if problem is not None:
+                raise TrunkProtocolError(problem)
+            sock.settimeout(None)
+        except (OSError, ConnectionClosed, TrunkProtocolError) as exc:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self._connect_failed(route, str(exc))
+            return
+        link = TrunkLink(sock, peer, initiated=True,
+                         keepalive_interval=self.keepalive_interval,
+                         outbound_bound=self.outbound_bound).start()
+        with self._state_lock:
+            route.link = link
+            route.connecting = False
+            route.attempt = 0
+            reconnect = route.ever_connected
+            route.ever_connected = True
+        self._m_connects.inc()
+        if reconnect:
+            self._m_reconnects.inc()
+        log.info("trunk route %s=%s:%d up (peer %r)", route.prefix,
+                 route.host, route.port, peer.name)
+
+    def _connect_failed(self, route: TrunkRoute, why: str) -> None:
+        with self._state_lock:
+            delay = self.retry.delay(
+                min(route.attempt, _MAX_BACKOFF_EXPONENT))
+            route.attempt += 1
+            route.next_attempt_at = time.monotonic() + delay
+            route.connecting = False
+        log.debug("trunk route %s=%s:%d connect failed (%s); retry in "
+                  "%.2fs", route.prefix, route.host, route.port, why, delay)
+
+    # -- accepting ------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        local = Handshake(self.name,
+                          sample_rate=self.exchange.sample_rate)
+        while self._running:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                break
+            try:
+                sock.settimeout(self.connect_timeout)
+                peer = Handshake.read_from(sock)
+                sock.sendall(local.encode())
+                problem = local.compatible_with(peer)
+                if problem is not None:
+                    raise TrunkProtocolError(problem)
+                sock.settimeout(None)
+            except (OSError, ConnectionClosed, TrunkProtocolError) as exc:
+                log.warning("refused trunk connection: %s", exc)
+                self._m_setup_refused.inc()
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            link = TrunkLink(sock, peer, initiated=False,
+                             keepalive_interval=self.keepalive_interval,
+                             outbound_bound=self.outbound_bound).start()
+            with self._state_lock:
+                self._accepted.append(link)
+
+    # -- frame handling (tick thread) -----------------------------------------
+
+    def _leg_for(self, link: TrunkLink, call_id: int) -> _TrunkLeg | None:
+        with self._state_lock:
+            return self._legs.get(link, {}).get(call_id)
+
+    def _handle_frame(self, link: TrunkLink, frame: TrunkFrame) -> None:
+        if frame.type is FrameType.AUDIO:
+            self._m_frames_in.inc()
+            leg = self._leg_for(link, frame.call_id)
+            if leg is not None:
+                leg.jitter.push(frame.seq, mulaw_decode(frame.payload))
+            return
+        self._m_signaling_in.inc()
+        if frame.type is FrameType.SETUP:
+            self._handle_setup(link, frame)
+            return
+        leg = self._leg_for(link, frame.call_id)
+        if leg is None:
+            return
+        if frame.type is FrameType.ALERTING:
+            leg.alerting = True
+        elif frame.type is FrameType.ANSWER:
+            if isinstance(leg, RemoteLine):
+                leg.remote_answered()
+        elif frame.type is FrameType.RELEASE:
+            self.deregister_leg(leg)
+            leg.remote_released(frame.reason)
+        elif frame.type is FrameType.DTMF:
+            self.exchange.route_dtmf(leg, frame.digits)
+
+    def _handle_setup(self, link: TrunkLink, frame: TrunkFrame) -> None:
+        if self._leg_for(link, frame.call_id) is not None:
+            log.warning("trunk link %s: duplicate call id %d in SETUP",
+                        link.name, frame.call_id)
+            self.send_on(link, TrunkFrame(FrameType.RELEASE, frame.call_id,
+                                          reason="duplicate call id"))
+            return
+        leg = InboundLeg(frame.caller_id or "unknown", self.exchange,
+                         self, link, frame.call_id)
+        with self._state_lock:
+            self._legs.setdefault(link, {})[frame.call_id] = leg
+        self._m_calls_in.inc()
+        self._m_active.set(self._leg_count())
+        self.exchange.dial(leg, frame.number,
+                           forwarded_from=frame.forwarded_from or None)
+        if self.exchange.call_for(leg) is not None:
+            self.send_on(link, TrunkFrame(FrameType.ALERTING,
+                                          frame.call_id))
+        # else: dial already failed the call; the leg's call_failed sent
+        # the RELEASE and deregistered itself.
+
+    # -- bearer pump ----------------------------------------------------------
+
+    def _pump_audio(self, frames: int) -> None:
+        with self._state_lock:
+            legs = [leg for by_call in self._legs.values()
+                    for leg in by_call.values()]
+        from ..telephony.call import CallState
+
+        for leg in legs:
+            call = self.exchange.call_for(leg)
+            if call is None or call.state is not CallState.CONNECTED:
+                continue
+            block = leg.jitter.pop(frames)
+            self.exchange.route_audio(leg, block)
+            self._fold_leg_stats(leg)
+
+    # -- metric folding -------------------------------------------------------
+
+    def _fold(self, obj, attr: str, counter) -> None:
+        current = getattr(obj, attr)
+        folded_attr = "_folded_" + attr
+        previous = getattr(obj, folded_attr, 0)
+        if current > previous:
+            counter.inc(current - previous)
+            setattr(obj, folded_attr, current)
+
+    def _fold_leg_stats(self, leg: _TrunkLeg) -> None:
+        jitter = leg.jitter
+        self._fold(jitter, "late_frames", self._m_late)
+        self._fold(jitter, "lost_frames", self._m_lost)
+        self._fold(jitter, "underruns", self._m_underruns)
+        self._fold(jitter, "shed_samples", self._m_jitter_shed)
+
+    def _update_gauges(self) -> None:
+        links = [link for link in self._all_links() if link.alive]
+        self._m_links.set(len(links))
+        for link in links:
+            self._fold(link, "shed_audio_frames", self._m_outbound_shed)
+        with self._state_lock:
+            legs = [leg for by_call in self._legs.values()
+                    for leg in by_call.values()]
+        self._m_jitter_depth.set(
+            sum(leg.jitter.depth_samples for leg in legs))
+        self._m_active.set(len(legs))
+
+    # -- introspection (tests, stats) -----------------------------------------
+
+    def buffered_audio_samples(self) -> int:
+        """Total audio queued in every leg's jitter buffer right now."""
+        with self._state_lock:
+            legs = [leg for by_call in self._legs.values()
+                    for leg in by_call.values()]
+        return sum(leg.jitter.depth_samples for leg in legs)
+
+    def live_link_count(self) -> int:
+        return len([link for link in self._all_links() if link.alive])
+
+
+# read_frame is re-exported for tests that speak raw trunk protocol.
+__all__ = ["InboundLeg", "RemoteLine", "TrunkGateway", "TrunkRoute",
+           "parse_route", "read_frame"]

@@ -1,0 +1,128 @@
+"""Per-call jitter buffers for trunk bearer audio.
+
+TCP gives the trunk in-order delivery, but not *timely* delivery: the
+sending exchange emits one audio block per tick while the receiving
+exchange pops one per tick of its own clock, and chaos (latency, jitter,
+throttling, reconnects) can starve or flood the receiver arbitrarily.
+The :class:`JitterBuffer` decouples the two clocks:
+
+* frames arrive with sequence numbers; late frames (already concealed
+  and skipped past) are dropped and counted;
+* gaps in the sequence are *concealed* with silence exactly once, and
+  counted as lost;
+* a pop against an empty (or not yet re-primed) buffer returns silence
+  and counts an underrun;
+* total buffered audio is bounded; overflow sheds the oldest samples so
+  latency cannot grow without bound on a fast producer.
+
+The buffer is single-consumer (the gateway's tick) but the producer is
+the link reader thread, so push/pop take one small lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+
+class JitterBuffer:
+    """Reorder, conceal, and bound one direction of one call's audio."""
+
+    def __init__(self, *, max_depth_samples: int = 16 * 160,
+                 prime_samples: int = 2 * 160,
+                 reorder_window: int = 4) -> None:
+        #: Upper bound on buffered audio; overflow sheds oldest samples.
+        self.max_depth_samples = max_depth_samples
+        #: After an underrun (or at start) the buffer waits until this
+        #: much audio is queued before popping again, so one late frame
+        #: does not turn into a machine-gun of one-block underruns.
+        self.prime_samples = min(prime_samples, max_depth_samples)
+        #: How many frames ahead of a gap must exist before the gap is
+        #: declared lost and skipped (TCP reorders nothing, but frames
+        #: from before a reconnect may be missing entirely).
+        self.reorder_window = reorder_window
+        self._lock = threading.Lock()
+        self._pending: dict[int, np.ndarray] = {}
+        self._ready: deque[np.ndarray] = deque()
+        self._ready_samples = 0
+        self._next_seq: int | None = None
+        self._primed = False
+        # Plain tallies; the gateway folds them into trunk.* metrics.
+        self.late_frames = 0
+        self.lost_frames = 0
+        self.underruns = 0
+        self.shed_samples = 0
+
+    # -- producer side (link reader thread) -----------------------------------
+
+    def push(self, seq: int, samples: np.ndarray) -> None:
+        with self._lock:
+            if self._next_seq is None:
+                self._next_seq = seq
+            if seq < self._next_seq:
+                self.late_frames += 1
+                return
+            self._pending[seq] = samples
+            self._drain_pending()
+            self._shed_overflow()
+
+    def _drain_pending(self) -> None:
+        """Move consecutive frames into the ready queue (lock held)."""
+        while self._next_seq in self._pending:
+            block = self._pending.pop(self._next_seq)
+            self._ready.append(block)
+            self._ready_samples += len(block)
+            self._next_seq += 1
+        # A gap with plenty of later audio behind it will never fill:
+        # declare the missing frames lost and skip ahead.
+        while (self._pending
+               and len(self._pending) >= self.reorder_window):
+            skip_to = min(self._pending)
+            self.lost_frames += skip_to - self._next_seq
+            self._next_seq = skip_to
+            while self._next_seq in self._pending:
+                block = self._pending.pop(self._next_seq)
+                self._ready.append(block)
+                self._ready_samples += len(block)
+                self._next_seq += 1
+
+    def _shed_overflow(self) -> None:
+        while (self._ready_samples > self.max_depth_samples
+               and len(self._ready) > 1):
+            shed = self._ready.popleft()
+            self._ready_samples -= len(shed)
+            self.shed_samples += len(shed)
+
+    # -- consumer side (gateway tick) -----------------------------------------
+
+    def pop(self, frames: int) -> np.ndarray:
+        """Exactly ``frames`` samples, silence-concealed on underrun."""
+        out = np.zeros(frames, dtype=np.int16)
+        with self._lock:
+            if not self._primed:
+                if self._ready_samples < self.prime_samples:
+                    return out
+                self._primed = True
+            filled = 0
+            while filled < frames and self._ready:
+                block = self._ready[0]
+                take = min(len(block), frames - filled)
+                out[filled:filled + take] = block[:take]
+                if take == len(block):
+                    self._ready.popleft()
+                else:
+                    self._ready[0] = block[take:]
+                self._ready_samples -= take
+                filled += take
+            if filled < frames:
+                self.underruns += 1
+                self._primed = False
+        return out
+
+    @property
+    def depth_samples(self) -> int:
+        with self._lock:
+            return self._ready_samples + sum(
+                len(block) for block in self._pending.values())

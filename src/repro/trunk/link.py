@@ -1,0 +1,186 @@
+"""One live trunk connection: socket, pump threads, keepalives.
+
+A :class:`TrunkLink` owns an already-handshaken socket and two threads:
+
+* the **reader** parses frames off the wire into an inbound deque that
+  the gateway drains from the exchange tick (signaling and bearer are
+  applied under the exchange's clock, never from the socket thread);
+* the **writer** drains an outbound queue into ``sendall`` and emits
+  PING keepalives when the queue idles.
+
+The gateway's tick thread runs inside the audio block cycle, under the
+server's topology lock -- so the link never does socket I/O on behalf of
+a caller: ``send`` is an enqueue, and a peer that stops reading costs at
+most the bounded outbound queue (oldest AUDIO frames are shed first;
+signaling is never dropped).  Liveness is the reader's last-received
+timestamp; the gateway declares the link dead when it goes stale.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import socket
+import threading
+import time
+from collections import deque
+
+from ..protocol.wire import ConnectionClosed, set_nodelay
+from .wire import FrameType, Handshake, TrunkFrame, TrunkProtocolError, \
+    read_frame
+
+log = logging.getLogger(__name__)
+
+#: Outbound frames queued before AUDIO shedding starts.  ~256 blocks is
+#: five seconds of bearer at 20 ms blocks -- far beyond any healthy
+#: link's in-flight window.
+DEFAULT_OUTBOUND_BOUND = 256
+
+#: Seconds of writer idleness between PING keepalives.
+DEFAULT_KEEPALIVE_INTERVAL = 1.0
+
+#: Missed-keepalive multiple after which the gateway calls a link dead.
+KEEPALIVE_TIMEOUT_FACTOR = 3.0
+
+
+class TrunkLink:
+    """A handshaken trunk connection being pumped in both directions."""
+
+    def __init__(self, sock: socket.socket, peer: Handshake, *,
+                 initiated: bool, name: str = "",
+                 keepalive_interval: float = DEFAULT_KEEPALIVE_INTERVAL,
+                 outbound_bound: int = DEFAULT_OUTBOUND_BOUND) -> None:
+        self.sock = sock
+        self.peer = peer
+        #: True when this endpoint opened the TCP connection; initiators
+        #: allocate odd call ids, acceptors even (see trunk/wire.py).
+        self.initiated = initiated
+        self.name = name or peer.name
+        self.keepalive_interval = keepalive_interval
+        self.keepalive_timeout = (KEEPALIVE_TIMEOUT_FACTOR
+                                  * keepalive_interval)
+        self.outbound_bound = outbound_bound
+        self.alive = True
+        self.last_rx = time.monotonic()
+        # Initiators allocate odd call ids, acceptors even, so calls
+        # originated simultaneously at both ends can never collide.
+        self._next_call_id = 1 if initiated else 2
+        #: Parsed frames awaiting the gateway's tick, oldest first.
+        self.inbound: deque[TrunkFrame] = deque()
+        # Tallies the gateway folds into trunk.* metrics.
+        self.frames_in = 0
+        self.frames_out = 0
+        self.shed_audio_frames = 0
+        self.keepalives_sent = 0
+        self._outbound: queue.Queue = queue.Queue()
+        self._audio_queued = 0      # AUDIO frames currently enqueued
+        self._counts_lock = threading.Lock()
+        self._close_lock = threading.Lock()
+        set_nodelay(sock)
+        self._reader = threading.Thread(
+            target=self._read_loop, name="trunk-read-%s" % self.name,
+            daemon=True)
+        self._writer = threading.Thread(
+            target=self._write_loop, name="trunk-write-%s" % self.name,
+            daemon=True)
+
+    def start(self) -> "TrunkLink":
+        self._reader.start()
+        self._writer.start()
+        return self
+
+    def allocate_call_id(self) -> int:
+        """The next call id this endpoint may originate with."""
+        with self._counts_lock:
+            call_id = self._next_call_id
+            self._next_call_id += 2
+        return call_id
+
+    # -- sending (called under the exchange lock: enqueue only) ---------------
+
+    def send(self, frame: TrunkFrame) -> bool:
+        """Queue a frame for the writer; False if it had to be shed.
+
+        Bearer frames past the outbound bound are shed oldest-intent
+        first (we drop the *new* frame -- concealment on the far side
+        covers the gap); signaling frames are always queued, because a
+        lost RELEASE would leak a call on the peer.
+        """
+        if not self.alive:
+            return False
+        if frame.type is FrameType.AUDIO:
+            with self._counts_lock:
+                if self._audio_queued >= self.outbound_bound:
+                    self.shed_audio_frames += 1
+                    return False
+                self._audio_queued += 1
+        self._outbound.put(frame)
+        return True
+
+    def stale(self, now: float | None = None) -> bool:
+        """Has the peer gone silent past the keepalive deadline?"""
+        reference = time.monotonic() if now is None else now
+        return reference - self.last_rx > self.keepalive_timeout
+
+    # -- pump threads ---------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while self.alive:
+                frame = read_frame(self.sock)
+                self.last_rx = time.monotonic()
+                self.frames_in += 1
+                if frame.type is FrameType.PING:
+                    self.send(TrunkFrame(FrameType.PONG, token=frame.token))
+                    continue
+                if frame.type is FrameType.PONG:
+                    continue
+                self.inbound.append(frame)
+        except (ConnectionClosed, OSError):
+            pass
+        except TrunkProtocolError as exc:
+            log.warning("trunk link %s: protocol violation: %s",
+                        self.name, exc)
+        finally:
+            self.close()
+
+    def _write_loop(self) -> None:
+        try:
+            while self.alive:
+                try:
+                    frame = self._outbound.get(
+                        timeout=self.keepalive_interval)
+                except queue.Empty:
+                    self.keepalives_sent += 1
+                    self.sock.sendall(
+                        TrunkFrame(FrameType.PING).encode())
+                    continue
+                if frame is None:
+                    break
+                if frame.type is FrameType.AUDIO:
+                    with self._counts_lock:
+                        self._audio_queued -= 1
+                self.sock.sendall(frame.encode())
+                self.frames_out += 1
+        except OSError:
+            pass
+        finally:
+            self.close()
+
+    # -- teardown -------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._close_lock:
+            if not self.alive:
+                return
+            self.alive = False
+        self._outbound.put(None)    # wake the writer
+        for how in (socket.SHUT_RDWR,):
+            try:
+                self.sock.shutdown(how)
+            except OSError:
+                pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

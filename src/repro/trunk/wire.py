@@ -1,0 +1,203 @@
+"""The trunk wire format: how two exchanges talk to each other.
+
+One trunk link is a TCP byte stream opened with a fixed-size versioned
+handshake, then carrying length-prefixed frames in both directions.
+Frames split into *signaling* (call control: SETUP, ALERTING, ANSWER,
+RELEASE, DTMF) and *bearer* (AUDIO: sequence-numbered blocks of G.711
+mu-law, reusing the table-driven codec from ``repro.dsp.encodings``).
+The grammar is deliberately tiny -- small enough to hold in your head
+while reading a packet capture:
+
+    handshake := magic(4) u16 major u16 minor u32 sample_rate string name
+    frame     := u32 length  u8 type  payload[length - 1]
+
+    SETUP     := u32 call_id  string number  string caller_id
+                 string forwarded_from      ("" = not forwarded)
+    ALERTING  := u32 call_id
+    ANSWER    := u32 call_id
+    RELEASE   := u32 call_id  string reason
+    DTMF      := u32 call_id  string digits
+    AUDIO     := u32 call_id  u32 seq  blob mulaw_payload
+    PING      := u32 token
+    PONG      := u32 token
+
+Call ids are allocated by the endpoint that *originates* the call; the
+endpoint that initiated the TCP connection uses odd ids and the acceptor
+even ids, so simultaneous calls in both directions can never collide.
+
+Marshalling reuses the :class:`~repro.protocol.wire.Writer` /
+:class:`~repro.protocol.wire.Reader` primitives of the client protocol
+(same endianness, same string/blob encoding); framing errors raise
+:class:`TrunkProtocolError` so a bad peer drops the link instead of
+crashing the gateway.
+"""
+
+from __future__ import annotations
+
+import enum
+import socket
+import struct
+from dataclasses import dataclass
+
+from ..protocol.wire import Reader, WireFormatError, Writer, recv_exact
+
+#: First bytes on the wire, both directions.
+TRUNK_MAGIC = b"RTRK"
+TRUNK_MAJOR = 1
+TRUNK_MINOR = 0
+
+#: Upper bound on one frame's encoded size; anything bigger is a
+#: protocol violation (an AUDIO block at 8 kHz is ~160 bytes).
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct("<I")
+_HANDSHAKE_HEAD = struct.Struct("<4sHHI")
+
+
+class TrunkProtocolError(Exception):
+    """The peer violated the trunk wire format or version contract."""
+
+
+class FrameType(enum.IntEnum):
+    SETUP = 1
+    ALERTING = 2
+    ANSWER = 3
+    RELEASE = 4
+    DTMF = 5
+    AUDIO = 6
+    PING = 7
+    PONG = 8
+
+
+#: Frame types that carry call signaling (everything but bearer/keepalive).
+SIGNALING_TYPES = frozenset({
+    FrameType.SETUP, FrameType.ALERTING, FrameType.ANSWER,
+    FrameType.RELEASE, FrameType.DTMF,
+})
+
+
+@dataclass(frozen=True)
+class TrunkFrame:
+    """One decoded trunk frame; unused fields stay at their defaults."""
+
+    type: FrameType
+    call_id: int = 0
+    number: str = ""
+    caller_id: str = ""
+    forwarded_from: str = ""
+    reason: str = ""
+    digits: str = ""
+    seq: int = 0
+    payload: bytes = b""
+    token: int = 0
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.u8(int(self.type))
+        if self.type in (FrameType.PING, FrameType.PONG):
+            writer.u32(self.token)
+        else:
+            writer.u32(self.call_id)
+            if self.type is FrameType.SETUP:
+                writer.string(self.number)
+                writer.string(self.caller_id)
+                writer.string(self.forwarded_from)
+            elif self.type is FrameType.RELEASE:
+                writer.string(self.reason)
+            elif self.type is FrameType.DTMF:
+                writer.string(self.digits)
+            elif self.type is FrameType.AUDIO:
+                writer.u32(self.seq)
+                writer.blob(self.payload)
+        body = writer.getvalue()
+        return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> TrunkFrame:
+    """Decode one frame body (everything after the length prefix)."""
+    reader = Reader(body)
+    try:
+        raw_type = reader.u8()
+        try:
+            frame_type = FrameType(raw_type)
+        except ValueError:
+            raise TrunkProtocolError("unknown frame type %d" % raw_type)
+        if frame_type in (FrameType.PING, FrameType.PONG):
+            frame = TrunkFrame(frame_type, token=reader.u32())
+        else:
+            call_id = reader.u32()
+            if frame_type is FrameType.SETUP:
+                frame = TrunkFrame(frame_type, call_id,
+                                   number=reader.string(),
+                                   caller_id=reader.string(),
+                                   forwarded_from=reader.string())
+            elif frame_type is FrameType.RELEASE:
+                frame = TrunkFrame(frame_type, call_id,
+                                   reason=reader.string())
+            elif frame_type is FrameType.DTMF:
+                frame = TrunkFrame(frame_type, call_id,
+                                   digits=reader.string())
+            elif frame_type is FrameType.AUDIO:
+                frame = TrunkFrame(frame_type, call_id, seq=reader.u32(),
+                                   payload=reader.blob())
+            else:
+                frame = TrunkFrame(frame_type, call_id)
+        reader.expect_end()
+    except WireFormatError as exc:
+        raise TrunkProtocolError(str(exc)) from None
+    return frame
+
+
+def read_frame(sock: socket.socket) -> TrunkFrame:
+    """Read one length-prefixed frame from a socket (blocking)."""
+    (length,) = _LENGTH.unpack(recv_exact(sock, _LENGTH.size))
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise TrunkProtocolError("bad frame length %d" % length)
+    return decode_frame(recv_exact(sock, length))
+
+
+@dataclass(frozen=True)
+class Handshake:
+    """The fixed preamble each side sends when a link opens.
+
+    ``sample_rate`` guards bearer compatibility: audio frames carry raw
+    mu-law at the sender's exchange rate, so both ends must agree before
+    any call is placed.
+    """
+
+    name: str = ""
+    major: int = TRUNK_MAJOR
+    minor: int = TRUNK_MINOR
+    sample_rate: int = 8000
+
+    def encode(self) -> bytes:
+        head = _HANDSHAKE_HEAD.pack(TRUNK_MAGIC, self.major, self.minor,
+                                    self.sample_rate)
+        return head + Writer().string(self.name).getvalue()
+
+    @classmethod
+    def read_from(cls, sock: socket.socket) -> "Handshake":
+        head = recv_exact(sock, _HANDSHAKE_HEAD.size)
+        magic, major, minor, sample_rate = _HANDSHAKE_HEAD.unpack(head)
+        if magic != TRUNK_MAGIC:
+            raise TrunkProtocolError("bad trunk magic %r" % magic)
+        (name_len,) = _LENGTH.unpack(recv_exact(sock, _LENGTH.size))
+        if name_len > 1024:
+            raise TrunkProtocolError("oversized peer name (%d bytes)"
+                                     % name_len)
+        try:
+            name = recv_exact(sock, name_len).decode("utf-8")
+        except UnicodeDecodeError:
+            raise TrunkProtocolError("undecodable peer name") from None
+        return cls(name=name, major=major, minor=minor,
+                   sample_rate=sample_rate)
+
+    def compatible_with(self, other: "Handshake") -> str | None:
+        """None if the peers can interoperate, else the refusal reason."""
+        if self.major != other.major:
+            return ("trunk protocol version mismatch: %d vs %d"
+                    % (self.major, other.major))
+        if self.sample_rate != other.sample_rate:
+            return ("sample rate mismatch: %d vs %d Hz"
+                    % (self.sample_rate, other.sample_rate))
+        return None

@@ -260,8 +260,9 @@ class TestLockDisciplineLint:
     def test_server_tree_is_currently_clean(self):
         lint = self._lint()
         violations = []
-        for path in sorted(lint.SERVER_DIR.rglob("*.py")):
-            violations.extend(lint.check_file(path))
+        for scan_dir in lint.SCAN_DIRS:
+            for path in sorted(scan_dir.rglob("*.py")):
+                violations.extend(lint.check_file(path))
         assert violations == []
 
 

@@ -172,6 +172,160 @@ class TestCallForwarding:
         assert failures == ["forward failed"]
 
 
+class TestCallTable:
+    """The exchange prunes finished calls and keeps lookups O(1)."""
+
+    def test_finished_calls_pruned_to_recent_history(self):
+        exchange, (a, b) = _exchange_with("100", "200")
+        total = exchange.RECENT_CALLS + 50
+        for _ in range(total):
+            a.off_hook()
+            a.dial("200")
+            b.off_hook()
+            a.on_hook()
+            b.on_hook()
+        assert len(exchange.recent_calls) == exchange.RECENT_CALLS
+        assert exchange.active_calls == []
+        assert exchange._active_by_line == {}
+        assert len(exchange.calls) == exchange.RECENT_CALLS
+
+    def test_failed_dials_do_not_accumulate_in_active_table(self):
+        exchange, (a,) = _exchange_with("100")
+        a.off_hook()
+        for _ in range(10):
+            a.dial("999")
+        assert exchange.active_calls == []
+        assert exchange.call_for(a) is None
+
+    def test_call_for_surviving_calls(self):
+        exchange, (a, b, c) = _exchange_with("100", "200", "300")
+        a.off_hook()
+        a.dial("200")
+        call = exchange.call_for(a)
+        assert call is exchange.call_for(b)
+        assert exchange.call_for(c) is None
+        b.off_hook()
+        assert exchange.call_for(a) is call
+        a.on_hook()
+        assert exchange.call_for(a) is None
+        assert exchange.call_for(b) is None
+
+
+class TestForwardEdges:
+    def _failures_for(self, caller):
+        failures = []
+
+        class Listener:
+            def on_call_failed(self, reason):
+                failures.append(reason)
+
+        caller.add_listener(Listener())
+        return failures
+
+    def _ring_until_forward(self, exchange):
+        blocks = int(exchange.FORWARD_AFTER_SECONDS * RATE / BLOCK) + 2
+        for _ in range(blocks):
+            exchange.tick(BLOCK)
+
+    def test_forward_to_self_fails(self):
+        exchange, (caller, desk) = _exchange_with("100", "200")
+        desk.forward_to = "200"     # forwards to its own number
+        failures = self._failures_for(caller)
+        caller.off_hook()
+        caller.dial("200")
+        self._ring_until_forward(exchange)
+        assert failures == ["forward failed"]
+        assert not desk.ringing
+        assert exchange.call_for(caller) is None
+
+    def test_forward_back_to_caller_fails(self):
+        exchange, (caller, desk) = _exchange_with("100", "200")
+        desk.forward_to = "100"     # forwards back at the caller
+        failures = self._failures_for(caller)
+        caller.off_hook()
+        caller.dial("200")
+        self._ring_until_forward(exchange)
+        assert failures == ["forward failed"]
+
+    def test_forward_to_ringing_target_fails(self):
+        exchange, (caller, desk, target, other) = _exchange_with(
+            "100", "200", "300", "400")
+        desk.forward_to = "300"
+        failures = self._failures_for(caller)
+        caller.off_hook()
+        caller.dial("200")
+        # Before the forward timer fires, someone else rings the target.
+        other.off_hook()
+        other.dial("300")
+        assert target.ringing
+        self._ring_until_forward(exchange)
+        assert failures == ["forward failed"]
+        # The unrelated call is untouched.
+        assert target.ringing
+        assert exchange.call_for(other) is not None
+
+
+class TestLineBuffering:
+    def test_custom_buffer_bound_in_seconds(self):
+        from repro.telephony import Line
+
+        exchange = TelephoneExchange(RATE)
+        line = Line("200", exchange, max_buffer_seconds=0.04)
+        exchange.lines["200"] = line
+        a = exchange.add_line("100")
+        a.off_hook()
+        a.dial("200")
+        line.off_hook()
+        for _ in range(10):
+            a.send_audio(np.ones(BLOCK, dtype=np.int16))
+        # 0.04 s at 8 kHz = 320 samples = two 160-frame blocks.
+        assert line._buffered <= int(0.04 * RATE)
+        assert len(line._inbound) <= 2
+
+    def test_dropped_blocks_counted(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        exchange = TelephoneExchange(RATE, metrics=registry)
+        a = exchange.add_line("100")
+        b = exchange.add_line("200")
+        a.off_hook()
+        a.dial("200")
+        b.off_hook()
+        sends = 200
+        for _ in range(sends):
+            a.send_audio(np.ones(BLOCK, dtype=np.int16))
+        dropped = registry.counter("telephony.line.dropped_blocks").value
+        assert dropped > 0
+        assert len(b._inbound) + dropped == sends
+
+
+class TestSignaledDtmf:
+    def test_signaled_dtmf_regenerates_inband(self):
+        exchange, (a, b) = _exchange_with("100", "200")
+        a.off_hook()
+        a.dial("200")
+        b.off_hook()
+        a.send_dtmf("42")
+        detector = DtmfDetector(RATE)
+        digits = []
+        for _ in range(40):
+            digits.extend(detector.feed(b.receive_audio(BLOCK)))
+        assert digits == ["4", "2"]
+
+    def test_dtmf_on_hook_raises(self):
+        exchange, (a,) = _exchange_with("100")
+        with pytest.raises(RuntimeError):
+            a.send_dtmf("1")
+
+    def test_dtmf_dropped_before_connect(self):
+        exchange, (a, b) = _exchange_with("100", "200")
+        a.off_hook()
+        a.dial("200")   # ringing: not connected yet
+        a.send_dtmf("5")
+        assert np.all(b.receive_audio(BLOCK) == 0)
+
+
 class TestAudioPath:
     def test_two_way_audio(self):
         exchange, (a, b) = _exchange_with("100", "200")

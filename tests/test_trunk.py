@@ -1,0 +1,524 @@
+"""Unit and integration tests for the inter-server trunk subsystem.
+
+The integration tests federate two in-process exchanges over a real TCP
+trunk and drive both by hand, so signaling and bearer behaviour is
+deterministic: each ``pump`` ticks both exchanges one block and yields
+briefly so the link pump threads can move frames.
+"""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dsp.dtmf import DtmfDetector
+from repro.dsp.encodings import mulaw_decode, mulaw_encode
+from repro.telephony import CallState, TelephoneExchange
+from repro.trunk import (
+    FrameType,
+    Handshake,
+    JitterBuffer,
+    TrunkFrame,
+    TrunkGateway,
+    TrunkProtocolError,
+    decode_frame,
+    parse_route,
+    read_frame,
+)
+
+RATE = 8000
+BLOCK = 160
+
+
+class TestWireFormat:
+    def roundtrip(self, frame):
+        encoded = frame.encode()
+        # Strip the length prefix the way read_frame would.
+        assert int.from_bytes(encoded[:4], "little") == len(encoded) - 4
+        return decode_frame(encoded[4:])
+
+    def test_setup_roundtrip(self):
+        frame = TrunkFrame(FrameType.SETUP, 7, number="200",
+                           caller_id="100", forwarded_from="150")
+        assert self.roundtrip(frame) == frame
+
+    def test_release_roundtrip(self):
+        frame = TrunkFrame(FrameType.RELEASE, 9, reason="busy")
+        assert self.roundtrip(frame) == frame
+
+    def test_dtmf_roundtrip(self):
+        frame = TrunkFrame(FrameType.DTMF, 3, digits="*42#")
+        assert self.roundtrip(frame) == frame
+
+    def test_audio_roundtrip(self):
+        payload = mulaw_encode(np.arange(BLOCK, dtype=np.int16))
+        frame = TrunkFrame(FrameType.AUDIO, 5, seq=17, payload=payload)
+        assert self.roundtrip(frame) == frame
+
+    def test_ping_pong_roundtrip(self):
+        for frame_type in (FrameType.PING, FrameType.PONG):
+            frame = TrunkFrame(frame_type, token=123456)
+            assert self.roundtrip(frame) == frame
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TrunkProtocolError):
+            decode_frame(bytes([99]) + b"\x00" * 4)
+
+    def test_trailing_garbage_rejected(self):
+        body = TrunkFrame(FrameType.ANSWER, 1).encode()[4:] + b"x"
+        with pytest.raises(TrunkProtocolError):
+            decode_frame(body)
+
+    def test_read_frame_over_socket(self):
+        left, right = socket.socketpair()
+        try:
+            frame = TrunkFrame(FrameType.ALERTING, 11)
+            left.sendall(frame.encode())
+            assert read_frame(right) == frame
+        finally:
+            left.close()
+            right.close()
+
+    def test_read_frame_rejects_oversize(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall((1 << 24).to_bytes(4, "little"))
+            with pytest.raises(TrunkProtocolError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestHandshake:
+    def test_roundtrip_over_socket(self):
+        left, right = socket.socketpair()
+        try:
+            sent = Handshake("server-a", sample_rate=8000)
+            left.sendall(sent.encode())
+            assert Handshake.read_from(right) == sent
+        finally:
+            left.close()
+            right.close()
+
+    def test_bad_magic_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"XXXX" + b"\x00" * 16)
+            with pytest.raises(TrunkProtocolError):
+                Handshake.read_from(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_major_version_mismatch_refused(self):
+        ours = Handshake("a", major=1)
+        theirs = Handshake("b", major=2)
+        assert ours.compatible_with(theirs) is not None
+        assert ours.compatible_with(Handshake("b", major=1)) is None
+
+    def test_sample_rate_mismatch_refused(self):
+        ours = Handshake("a", sample_rate=8000)
+        theirs = Handshake("b", sample_rate=16000)
+        assert "sample rate" in ours.compatible_with(theirs)
+
+
+class TestParseRoute:
+    def test_parse(self):
+        assert parse_route("2=10.0.0.1:9999") == ("2", "10.0.0.1", 9999)
+
+    def test_rejects_malformed(self):
+        for bad in ("2=nohost", "=host:1", "2=host:", "2", "2=h:x"):
+            with pytest.raises(ValueError):
+                parse_route(bad)
+
+
+class TestJitterBuffer:
+    def _block(self, value, frames=BLOCK):
+        return np.full(frames, value, dtype=np.int16)
+
+    def test_in_order_passthrough_after_priming(self):
+        jb = JitterBuffer(prime_samples=BLOCK)
+        jb.push(0, self._block(1))
+        out = jb.pop(BLOCK)
+        assert np.all(out == 1)
+        assert jb.underruns == 0
+
+    def test_unprimed_pop_is_silent_without_underrun(self):
+        jb = JitterBuffer(prime_samples=2 * BLOCK)
+        jb.push(0, self._block(1))
+        assert np.all(jb.pop(BLOCK) == 0)   # still priming
+        assert jb.underruns == 0
+
+    def test_underrun_counts_and_reprimes(self):
+        jb = JitterBuffer(prime_samples=BLOCK)
+        jb.push(0, self._block(1))
+        jb.pop(BLOCK)
+        jb.pop(BLOCK)                        # nothing left: underrun? no --
+        # an empty primed buffer returning pure silence is an underrun
+        assert jb.underruns == 1
+        # one block is no longer enough until re-primed
+        jb.push(1, self._block(2, BLOCK // 2))
+        assert np.all(jb.pop(BLOCK) == 0)
+
+    def test_late_frames_dropped(self):
+        jb = JitterBuffer(prime_samples=0)
+        jb.push(5, self._block(1))
+        jb.pop(BLOCK)
+        jb.push(3, self._block(9))           # from before the stream head
+        assert jb.late_frames == 1
+        assert jb.depth_samples == 0
+
+    def test_gap_concealed_and_counted_lost(self):
+        jb = JitterBuffer(prime_samples=0, reorder_window=2)
+        jb.push(0, self._block(1))
+        jb.push(2, self._block(3))           # seq 1 missing
+        jb.push(3, self._block(4))           # window full: declare 1 lost
+        assert jb.lost_frames == 1
+        assert np.all(jb.pop(BLOCK) == 1)
+        assert np.all(jb.pop(BLOCK) == 3)
+        assert np.all(jb.pop(BLOCK) == 4)
+
+    def test_depth_bounded_sheds_oldest(self):
+        jb = JitterBuffer(max_depth_samples=4 * BLOCK, prime_samples=0)
+        for seq in range(10):
+            jb.push(seq, self._block(seq))
+        assert jb.depth_samples <= 4 * BLOCK
+        assert jb.shed_samples == 6 * BLOCK
+        # The oldest surviving audio is block 6.
+        assert np.all(jb.pop(BLOCK) == 6)
+
+
+class TwoExchanges:
+    """Two exchanges federated A->B over a real TCP trunk."""
+
+    def __init__(self, route_prefix="2", listen=True):
+        from repro.obs import MetricsRegistry
+
+        self.ex_a = TelephoneExchange(RATE)
+        self.ex_b = TelephoneExchange(RATE)
+        self.gw_b = TrunkGateway(self.ex_b, name="B",
+                                 metrics=MetricsRegistry(),
+                                 keepalive_interval=0.1)
+        if listen:
+            self.gw_b.listen("127.0.0.1", 0)
+        self.gw_b.start()
+        self.gw_a = TrunkGateway(self.ex_a, name="A",
+                                 metrics=MetricsRegistry(),
+                                 keepalive_interval=0.1)
+        if listen:
+            self.gw_a.add_route(route_prefix, "127.0.0.1", self.gw_b.port)
+        self.gw_a.start()
+
+    def stop(self):
+        self.gw_a.stop()
+        self.gw_b.stop()
+
+    def pump(self, blocks=1):
+        for _ in range(blocks):
+            self.ex_a.tick(BLOCK)
+            self.ex_b.tick(BLOCK)
+            time.sleep(0.002)
+
+    def pump_until(self, predicate, blocks=500):
+        for _ in range(blocks):
+            if predicate():
+                return True
+            self.pump()
+        return predicate()
+
+
+@pytest.fixture
+def pair():
+    pair = TwoExchanges()
+    assert pair.gw_a.wait_connected(5.0), "trunk route never connected"
+    yield pair
+    pair.stop()
+
+
+def _listener(line):
+    events = {"failed": [], "hangup": [], "answered": [], "rings": []}
+
+    class Listener:
+        def on_call_failed(self, reason):
+            events["failed"].append(reason)
+
+        def on_far_hangup(self):
+            events["hangup"].append(True)
+
+        def on_answered(self):
+            events["answered"].append(True)
+
+        def on_ring_start(self, caller_info):
+            events["rings"].append(caller_info)
+
+    line.add_listener(Listener())
+    return events
+
+
+class TestTrunkCalls:
+    def test_cross_trunk_call_full_lifecycle(self, pair):
+        alice = pair.ex_a.add_line("100")
+        bob = pair.ex_b.add_line("200")
+        bob_events = _listener(bob)
+        alice_events = _listener(alice)
+
+        alice.off_hook()
+        alice.dial("200")
+        assert pair.pump_until(lambda: bob.ringing), "no ring across trunk"
+        assert bob.caller_info.number == "100"
+        assert bob.caller_info.forwarded_from is None
+        assert bob_events["rings"][0].number == "100"
+
+        bob.off_hook()
+        assert pair.pump_until(lambda: alice_events["answered"])
+        assert pair.ex_a.call_for(alice).state is CallState.CONNECTED
+        assert pair.ex_b.call_for(bob).state is CallState.CONNECTED
+
+        # Two-way audio: what bob hears is the exact mu-law roundtrip
+        # of what alice sent (and vice versa).
+        sent_a = (np.arange(1, BLOCK + 1, dtype=np.int16) * 37)
+        sent_b = (np.arange(1, BLOCK + 1, dtype=np.int16) * -53)
+        for _ in range(12):
+            alice.send_audio(sent_a)
+            bob.send_audio(sent_b)
+            pair.pump()
+        heard_b, heard_a = [], []
+        for _ in range(60):
+            pair.pump()
+            for line, sink in ((bob, heard_b), (alice, heard_a)):
+                block = line.receive_audio(BLOCK)
+                if np.any(block):
+                    sink.append(block)
+            if len(heard_b) >= 3 and len(heard_a) >= 3:
+                break
+        expect_b = mulaw_decode(mulaw_encode(sent_a))
+        expect_a = mulaw_decode(mulaw_encode(sent_b))
+        assert any(np.array_equal(h, expect_b) for h in heard_b)
+        assert any(np.array_equal(h, expect_a) for h in heard_a)
+
+        # Hangup supervision: alice hangs up, bob's line goes idle.
+        alice.on_hook()
+        assert pair.pump_until(lambda: bob_events["hangup"])
+        assert pair.ex_b.call_for(bob) is None
+        assert pair.ex_a.call_for(alice) is None
+
+    def test_remote_busy_reported_to_caller(self, pair):
+        alice = pair.ex_a.add_line("100")
+        bob = pair.ex_b.add_line("200")
+        bob.off_hook()              # busy before the call arrives
+        events = _listener(alice)
+        alice.off_hook()
+        alice.dial("200")
+        assert pair.pump_until(lambda: events["failed"])
+        assert events["failed"] == ["busy"]
+        assert pair.ex_a.call_for(alice) is None
+
+    def test_remote_unknown_number_reported(self, pair):
+        alice = pair.ex_a.add_line("100")
+        events = _listener(alice)
+        alice.off_hook()
+        alice.dial("299")            # routed, but not homed on B
+        assert pair.pump_until(lambda: events["failed"])
+        assert events["failed"] == ["no such number"]
+
+    def test_caller_abandon_stops_remote_ringing(self, pair):
+        alice = pair.ex_a.add_line("100")
+        bob = pair.ex_b.add_line("200")
+        alice.off_hook()
+        alice.dial("200")
+        assert pair.pump_until(lambda: bob.ringing)
+        alice.on_hook()
+        assert pair.pump_until(lambda: not bob.ringing)
+        assert pair.ex_b.call_for(bob) is None
+
+    def test_callee_hangup_supervises_caller(self, pair):
+        alice = pair.ex_a.add_line("100")
+        bob = pair.ex_b.add_line("200")
+        events = _listener(alice)
+        alice.off_hook()
+        alice.dial("200")
+        assert pair.pump_until(lambda: bob.ringing)
+        bob.off_hook()
+        assert pair.pump_until(lambda: events["answered"])
+        bob.on_hook()
+        assert pair.pump_until(lambda: events["hangup"])
+        assert pair.ex_a.call_for(alice) is None
+
+    def test_dtmf_signaling_survives_trunk(self, pair):
+        alice = pair.ex_a.add_line("100")
+        bob = pair.ex_b.add_line("200")
+        alice.off_hook()
+        alice.dial("200")
+        assert pair.pump_until(lambda: bob.ringing)
+        bob.off_hook()
+        assert pair.pump_until(
+            lambda: pair.ex_a.call_for(alice) is not None
+            and pair.ex_a.call_for(alice).state is CallState.CONNECTED)
+        # Digits signaled on B regenerate as in-band tones on A, where
+        # the stock DSP detector must decode them exactly.
+        bob.send_dtmf("42")
+        detector = DtmfDetector(RATE)
+        digits = []
+
+        def decoded():
+            pair.pump()
+            digits.extend(detector.feed(alice.receive_audio(BLOCK)))
+            return len(digits) >= 2
+
+        assert pair.pump_until(decoded)
+        assert digits == ["4", "2"]
+
+    def test_unrouted_number_fails_locally(self, pair):
+        alice = pair.ex_a.add_line("100")
+        events = _listener(alice)
+        alice.off_hook()
+        alice.dial("900")            # no local line, no route
+        assert events["failed"] == ["no such number"]
+
+    def test_unreachable_route_fails_fast(self):
+        exchange = TelephoneExchange(RATE)
+        gateway = TrunkGateway(exchange, name="A")
+        # Reserve a port and close it so nothing is listening there.
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        dead_port = placeholder.getsockname()[1]
+        placeholder.close()
+        gateway.add_route("2", "127.0.0.1", dead_port)
+        gateway.start()
+        try:
+            alice = exchange.add_line("100")
+            events = _listener(alice)
+            alice.off_hook()
+            alice.dial("200")
+            # The route has no live link: the dial fails synchronously.
+            assert events["failed"] == ["trunk down"]
+            assert exchange.call_for(alice) is None
+        finally:
+            gateway.stop()
+
+
+class TestTrunkForwarding:
+    def test_local_line_forwards_across_trunk(self, pair):
+        alice = pair.ex_a.add_line("100")
+        desk = pair.ex_a.add_line("150")
+        desk.forward_to = "200"
+        bob = pair.ex_b.add_line("200")
+        bob_events = _listener(bob)
+        alice.off_hook()
+        alice.dial("150")
+        assert desk.ringing
+        forward_blocks = int(
+            pair.ex_a.FORWARD_AFTER_SECONDS * RATE / BLOCK) + 2
+        pair.pump(forward_blocks)
+        assert pair.pump_until(lambda: bob.ringing)
+        assert not desk.ringing
+        info = bob_events["rings"][0]
+        assert info.number == "100"
+        assert info.forwarded_from == "150"
+        # The forwarded call connects end to end.
+        bob.off_hook()
+        assert pair.pump_until(
+            lambda: pair.ex_a.call_for(alice) is not None
+            and pair.ex_a.call_for(alice).state is CallState.CONNECTED)
+
+    def test_forward_to_busy_remote_target_fails(self, pair):
+        alice = pair.ex_a.add_line("100")
+        desk = pair.ex_a.add_line("150")
+        desk.forward_to = "200"
+        bob = pair.ex_b.add_line("200")
+        bob.off_hook()               # remote target is busy
+        events = _listener(alice)
+        alice.off_hook()
+        alice.dial("150")
+        forward_blocks = int(
+            pair.ex_a.FORWARD_AFTER_SECONDS * RATE / BLOCK) + 2
+        pair.pump(forward_blocks)
+        assert pair.pump_until(lambda: events["failed"])
+        # The forward rang a remote leg which reported busy.
+        assert events["failed"] == ["busy"]
+        assert pair.ex_a.call_for(alice) is None
+
+
+class TestTrunkSupervision:
+    def test_trunk_loss_releases_both_sides_and_reconnects(self, pair):
+        alice = pair.ex_a.add_line("100")
+        bob = pair.ex_b.add_line("200")
+        a_events = _listener(alice)
+        b_events = _listener(bob)
+        alice.off_hook()
+        alice.dial("200")
+        assert pair.pump_until(lambda: bob.ringing)
+        bob.off_hook()
+        assert pair.pump_until(lambda: a_events["answered"])
+
+        route = pair.gw_a.routes[0]
+        first_link = route.link
+        first_link.close()           # the trunk dies mid-call
+
+        assert pair.pump_until(
+            lambda: a_events["hangup"] and b_events["hangup"],
+            blocks=3000)
+        assert pair.ex_a.call_for(alice) is None
+        assert pair.ex_b.call_for(bob) is None
+
+        # The gateway reconnects by itself and counts it.
+        assert pair.pump_until(
+            lambda: pair.gw_a.connected()
+            and route.link is not first_link, blocks=3000)
+        assert pair.gw_a._m_reconnects.value == 1
+
+        # ... and the trunk is usable again once both parties hang up.
+        alice.on_hook()
+        bob.on_hook()
+        alice.off_hook()
+        alice.dial("200")
+        assert pair.pump_until(lambda: bob.ringing, blocks=1000)
+
+    def test_simultaneous_calls_both_directions(self, pair):
+        # Call ids are odd on the initiator and even on the acceptor,
+        # so glare cannot collide.  Open the reverse direction: A also
+        # listens, and B routes A's prefix to it.
+        pair.gw_a.listen("127.0.0.1", 0)
+        pair.gw_b.add_route("1", "127.0.0.1", pair.gw_a.port)
+        assert pair.gw_b.wait_connected(5.0)
+
+        a1 = pair.ex_a.add_line("100")
+        a2 = pair.ex_a.add_line("101")
+        b1 = pair.ex_b.add_line("200")
+        b2 = pair.ex_b.add_line("201")
+        a1.off_hook()
+        a1.dial("200")
+        b2.off_hook()
+        b2.dial("101")
+        assert pair.pump_until(lambda: b1.ringing and a2.ringing)
+        b1.off_hook()
+        a2.off_hook()
+        assert pair.pump_until(
+            lambda: pair.ex_a.call_for(a1) is not None
+            and pair.ex_a.call_for(a1).state is CallState.CONNECTED
+            and pair.ex_b.call_for(b2) is not None
+            and pair.ex_b.call_for(b2).state is CallState.CONNECTED)
+
+    def test_version_mismatch_refused_at_accept(self, pair):
+        # Dial B's trunk listener with a bad major version; the
+        # connection must be refused (closed) and counted.
+        refused_before = pair.gw_b._m_setup_refused.value
+        sock = socket.create_connection(("127.0.0.1", pair.gw_b.port),
+                                        timeout=2.0)
+        try:
+            sock.sendall(Handshake("evil", major=99).encode())
+            sock.settimeout(2.0)
+            # The acceptor replies with its handshake, then closes.
+            Handshake.read_from(sock)
+            assert sock.recv(1) == b""
+        finally:
+            sock.close()
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            if pair.gw_b._m_setup_refused.value > refused_before:
+                break
+            time.sleep(0.01)
+        assert pair.gw_b._m_setup_refused.value == refused_before + 1
