@@ -64,11 +64,23 @@ def pytest_sessionfinish(session, exitstatus):
         if not results:
             continue
         path = os.path.join(str(session.config.rootdir), filename)
+        # Merge into whatever an earlier (possibly fuller) run wrote: a
+        # partial re-run -- CI's procs-forced E14 pass, or one module
+        # run locally -- must not clobber the other experiments' records
+        # that the perf gate reads.
+        merged = dict(results)
+        try:
+            with open(path) as handle:
+                previous = json.load(handle).get("results", {})
+            merged = {**previous, **results}
+        except (OSError, ValueError):
+            pass
         try:
             with open(path, "w") as handle:
                 json.dump({"fast_mode": harness.FAST,
-                           "results": results}, handle, indent=2)
-            print("\n%d result(s) written to %s" % (len(results), path))
+                           "results": merged}, handle, indent=2)
+            print("\n%d result(s) written to %s (%d from this run)"
+                  % (len(merged), path, len(results)))
         except OSError as exc:
             print("\ncould not write %s: %s" % (path, exc))
     if harness.SESSION_STATS:

@@ -1,15 +1,12 @@
-"""E8 -- multicore block cycle: render-pool scaling and batched dispatch.
+"""E8/E14 -- multicore block cycle: render-backend scaling.
 
-The sharded render pool splits the render plan's ``(queue, devices)``
-rows across worker threads; the contract is *byte-identical* output at
-higher tick throughput.  This experiment measures block-cycle throughput
-serial vs parallel at 1/4/16 LOUDs (asserting identity every time) and
-the dispatch layer's pipelined request rate, and emits the records CI
-diffs via BENCH_PERF.json.
-
-On a single-core runner the parallel path still runs (the equivalence
-assertions always hold) but the >= 2x speedup gate only arms when the
-machine actually has cores to scale onto (``os.cpu_count() >= 4``).
+E8 measures the thread render pool and the dispatch layer's pipelined
+request rate.  E14 measures what E8 could not deliver: *true* multicore
+rendering with the process-sharded backend (``render_proc.py``), serial
+vs procs block-cycle throughput at 16 LOUDs with byte-identity asserted
+on every host.  The >= 2x speedup gate arms only where there are cores
+to scale onto (``os.cpu_count() >= 4``) -- on a single-core runner the
+procs path still runs and the equivalence assertions always hold.
 """
 
 import os
@@ -56,13 +53,16 @@ def _build_louds(client, loud_count):
         loud.start_queue()
 
 
-def _tick_run(render_workers, loud_count, blocks):
+def _tick_run(render_workers, loud_count, blocks, backend="threads"):
     """Step ``blocks`` ticks; return (blocks/sec, capture, snapshot)."""
     server = AudioServer(HardwareConfig(), render_workers=render_workers,
-                         render_min_rows=2)
+                         render_min_rows=2, render_backend=backend)
     server.start(start_hub=False)   # manual stepping: measured time only
     client = AudioClient(port=server.port, client_name="scaling")
     try:
+        if backend == "procs":
+            # The first measured tick must already be parallel.
+            server.render_pool.wait_ready(30.0)
         _build_louds(client, loud_count)
         client.sync()
         server.hub.step(10)         # warm caches and the render plan
@@ -105,14 +105,50 @@ def test_render_pool_scaling(report):
                         "renderpool.rows", 0))
         report.row("E8", "block cycle %d LOUDs, 4 workers" % loud_count,
                    "%.0f blk/s (%.2fx serial)" % (parallel_rate, speedup),
-                   ">= 2x at 16 LOUDs on >= 4 cores")
-    if cpus >= 4 and not os.environ.get("REPRO_BENCH_FAST"):
-        assert speedups[16] >= 2.0, (
-            "16-LOUD speedup %.2fx below 2x on a %d-core machine"
-            % (speedups[16], cpus))
+                   "threads: measured only; the gate moved to E14")
+    # The thread pool's 2x gate never armed in practice (the GIL eats
+    # the win); E14 gates the process backend instead.
+    report.note("E8   | thread speedups: %s"
+                % {k: round(v, 2) for k, v in speedups.items()})
+
+
+def test_process_backend_scaling(report):
+    """E14: serial oracle vs process-sharded backend at 16 LOUDs.
+
+    Byte-identity is asserted on every host, including single-core CI
+    (workers forced >= 2 so the procs path genuinely renders in worker
+    processes); the >= 2x throughput gate arms on >= 4 cores.
+    """
+    blocks = scaled(400, 40)
+    cpus = os.cpu_count() or 1
+    fast = bool(os.environ.get("REPRO_BENCH_FAST"))
+    workers = max(2, min(cpus, 8))
+    serial_rate, serial_capture, _ = _tick_run(
+        0, 16, blocks, backend="serial")
+    procs_rate, procs_capture, snapshot = _tick_run(
+        workers, 16, blocks, backend="procs")
+    assert np.array_equal(serial_capture, procs_capture), (
+        "process render backend diverged from the serial oracle")
+    counters = snapshot["counters"]
+    assert counters["renderproc.parallel_ticks"] > 0
+    assert counters["renderproc.rows"] > 0
+    speedup = procs_rate / serial_rate
+    record_perf("block_cycle.serial.16louds.oracle", serial_rate, louds=16)
+    record_perf("block_cycle.procs.16louds", procs_rate, louds=16,
+                speedup=round(speedup, 2), cpus=cpus, fast=fast,
+                workers=workers,
+                ipc_us_count=snapshot["histograms"]
+                .get("renderproc.ipc_us", {}).get("count", 0))
+    report.row("E14", "block cycle 16 LOUDs, %d proc workers" % workers,
+               "%.0f blk/s (%.2fx serial)" % (procs_rate, speedup),
+               ">= 2x vs serial on >= 4 cores")
+    if cpus >= 4 and not fast:
+        assert speedup >= 2.0, (
+            "16-LOUD procs speedup %.2fx below 2x on a %d-core machine"
+            % (speedup, cpus))
     else:
-        report.note("E8   | speedup gate skipped (cpus=%d, fast=%s)"
-                    % (cpus, bool(os.environ.get("REPRO_BENCH_FAST"))))
+        report.note("E14  | speedup gate skipped (cpus=%d, fast=%s)"
+                    % (cpus, fast))
 
 
 def test_pipelined_dispatch_throughput(server_rig, report):

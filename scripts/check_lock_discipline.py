@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Lock-discipline lint: no blocking I/O under a server lock.
+"""Lock-discipline lint: no blocking I/O or IPC waits under a server lock.
 
 Walks every module under ``src/repro/server/`` and
 ``src/repro/trunk/`` and flags calls that can
@@ -9,6 +9,17 @@ inside a ``with self.lock:`` (or any ``*.lock`` / ``*_lock``) block.
 The topology lock gates the 20 ms block cycle; one stalled peer socket
 under it would stall every client's audio (docs/PERFORMANCE.md,
 "Concurrency model").
+
+The process render backend adds a second hazard class: **IPC waits** --
+pipe/queue/shared-memory receives (``poll``, ``recv_bytes``, a
+``.get``/``.join``/``.wait`` on anything named like a queue, pipe,
+connection, worker or process).  Waiting on a worker process while
+holding the topology lock deadlocks the block cycle if the worker ever
+needs the lock's owner to make progress, so those are flagged too.
+
+A line may opt out with an explicit ``# lock-ok: <reason>`` pragma --
+used for waits that are *bounded* and by design part of the cycle
+itself (the render barrier), never for open-ended peers.
 
 Exit status is nonzero if any violation is found, so CI can gate on it.
 Queue handoffs (``put``, ``notify``) are deliberately fine -- the writer
@@ -25,6 +36,17 @@ from pathlib import Path
 BLOCKING_ATTRS = frozenset({
     "sendall", "send", "sendto", "recv", "recv_into", "accept", "connect",
 })
+
+#: Method names that always mean "wait on another process/thread".
+IPC_WAIT_ATTRS = frozenset({"poll", "recv_bytes"})
+
+#: Method names that mean an IPC wait only when the receiver looks like
+#: an IPC endpoint (``.get`` alone would flag every dict lookup).
+IPC_WAIT_ATTRS_NAMED = frozenset({"get", "join", "wait"})
+
+#: Receiver-name fragments that mark an IPC endpoint.
+IPC_RECEIVER_HINTS = ("queue", "conn", "pipe", "sock", "proc", "worker",
+                      "shm", "process")
 
 _SRC = Path(__file__).resolve().parent.parent / "src/repro"
 #: Directories whose code runs under (or takes) the server's locks: the
@@ -46,11 +68,34 @@ def _is_time_sleep(func: ast.expr) -> bool:
             and func.value.id == "time")
 
 
+def _receiver_name(node: ast.expr) -> str:
+    """The dotted-name text of a call receiver, lowercased ('' if not
+    a plain name/attribute chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)).lower()
+
+
 class LockDisciplineVisitor(ast.NodeVisitor):
-    def __init__(self, path: Path) -> None:
+    def __init__(self, path: Path, source_lines: list[str]) -> None:
         self.path = path
+        self.source_lines = source_lines
         self.lock_depth = 0
         self.violations: list[tuple[Path, int, str]] = []
+
+    def _exempted(self, node: ast.AST) -> bool:
+        """True if the call (or the line above it) carries a lock-ok
+        pragma."""
+        end = getattr(node, "end_lineno", node.lineno)
+        for lineno in range(max(node.lineno - 1, 1), end + 1):
+            if lineno <= len(self.source_lines) \
+                    and "# lock-ok:" in self.source_lines[lineno - 1]:
+                return True
+        return False
 
     def visit_With(self, node: ast.With) -> None:
         locked = any(_is_lock_expr(item.context_expr)
@@ -60,16 +105,23 @@ class LockDisciplineVisitor(ast.NodeVisitor):
         self.lock_depth -= 1 if locked else 0
 
     def visit_Call(self, node: ast.Call) -> None:
-        if self.lock_depth > 0:
+        if self.lock_depth > 0 and not self._exempted(node):
             func = node.func
             if _is_time_sleep(func):
                 self.violations.append(
                     (self.path, node.lineno, "time.sleep under a lock"))
-            elif (isinstance(func, ast.Attribute)
-                    and func.attr in BLOCKING_ATTRS):
-                self.violations.append(
-                    (self.path, node.lineno,
-                     "socket .%s() under a lock" % func.attr))
+            elif isinstance(func, ast.Attribute):
+                if func.attr in BLOCKING_ATTRS:
+                    self.violations.append(
+                        (self.path, node.lineno,
+                         "socket .%s() under a lock" % func.attr))
+                elif func.attr in IPC_WAIT_ATTRS or (
+                        func.attr in IPC_WAIT_ATTRS_NAMED
+                        and any(hint in _receiver_name(func.value)
+                                for hint in IPC_RECEIVER_HINTS)):
+                    self.violations.append(
+                        (self.path, node.lineno,
+                         "IPC wait .%s() under a lock" % func.attr))
         self.generic_visit(node)
 
     # Lock scope is per-function: a def nested inside a with-block runs
@@ -83,8 +135,9 @@ class LockDisciplineVisitor(ast.NodeVisitor):
 
 
 def check_file(path: Path) -> list[tuple[Path, int, str]]:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    visitor = LockDisciplineVisitor(path)
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    visitor = LockDisciplineVisitor(path, source.splitlines())
     visitor.visit(tree)
     return visitor.violations
 

@@ -77,6 +77,7 @@ class AudioServer:
                  stall_deadline: float = 5.0,
                  render_workers: int | None = None,
                  render_min_rows: int | None = None,
+                 render_backend: str | None = None,
                  trunk_listen: tuple[str, int] | None = None,
                  trunk_routes: list[tuple[str, str, int]] | None = None,
                  trunk_name: str = "") -> None:
@@ -114,6 +115,13 @@ class AudioServer:
         self._m_evicted_slow = metrics.counter("clients.evicted_slow")
         self._m_tick_duration = metrics.histogram(
             "tick.duration_us", edges=MICROSECOND_BUCKETS)
+        # duration_us ~= render_us + flush_us: the render component is
+        # everything under the lock up to the event flush, so backend
+        # comparisons attribute time to rendering, not client fan-out.
+        self._m_tick_render = metrics.histogram(
+            "tick.render_us", edges=MICROSECOND_BUCKETS)
+        self._m_tick_flush = metrics.histogram(
+            "tick.flush_us", edges=MICROSECOND_BUCKETS)
         self._m_snapshot_rebuilds = metrics.counter(
             "querysnapshot.rebuilds")
         self.resources = ResourceTable()
@@ -126,11 +134,28 @@ class AudioServer:
         #: lock-free query snapshot.
         self._topology_version = 0
         self._query_snapshot: QuerySnapshot | None = None
-        #: Sharded render workers (docs/PERFORMANCE.md); plans below the
-        #: row threshold (or a <2-worker pool) render serially in
-        #: _on_tick, which stays the byte-identical oracle.
-        self.render_pool = RenderPool(self, workers=render_workers,
-                                      min_rows=render_min_rows)
+        #: Selectable render backend (docs/PERFORMANCE.md): "threads"
+        #: (the PR 4 sharded pool), "procs" (process sharding over
+        #: shared memory), or "serial" (no pool at all).  Whatever the
+        #: backend, plans below the row threshold (or a <2-worker pool)
+        #: render serially in _on_tick, which stays the byte-identical
+        #: oracle.
+        backend = (render_backend
+                   or os.environ.get("REPRO_RENDER_BACKEND", "")
+                   or "threads").strip().lower()
+        if backend not in ("serial", "threads", "procs"):
+            raise ValueError("unknown render backend %r "
+                             "(serial, threads or procs)" % backend)
+        self.render_backend = backend
+        if backend == "procs":
+            from .render_proc import ProcessRenderPool
+
+            self.render_pool = ProcessRenderPool(
+                self, workers=render_workers, min_rows=render_min_rows)
+        else:
+            self.render_pool = RenderPool(
+                self, workers=0 if backend == "serial" else render_workers,
+                min_rows=render_min_rows)
         #: Shared LRU of decoded sounds; dispatch attaches every sound a
         #: client creates or loads, so repeat plays skip the codec.
         self.decode_cache = DecodeCache(metrics=metrics)
@@ -282,9 +307,12 @@ class AudioServer:
                 for queue, devices in plan:
                     queue.tick_post(sample_time, frames, devices)
             finally:
+                rendered = time.perf_counter()
                 self.events.flush_tick_batch()
-        self._m_tick_duration.observe(
-            (time.perf_counter() - started) * 1e6)
+        ended = time.perf_counter()
+        self._m_tick_render.observe((rendered - started) * 1e6)
+        self._m_tick_flush.observe((ended - rendered) * 1e6)
+        self._m_tick_duration.observe((ended - started) * 1e6)
         self._sweep_stalled_clients()
 
     def _sweep_stalled_clients(self) -> None:
@@ -332,6 +360,9 @@ class AudioServer:
         self._listener.listen(32)
         if self.trunk is not None:
             self.trunk.start()
+        # Process workers spawn in the background; ticks render serially
+        # until they report ready (a no-op for the thread backend).
+        self.render_pool.start()
         if start_hub:
             self.hub.start()
         self._accept_thread = threading.Thread(
@@ -549,6 +580,7 @@ class AudioServer:
             "sample_rate": self.hub.sample_rate,
             "block_frames": self.hub.block_frames,
             "clients_connected": len(clients),
+            "render_backend": self.render_backend,
         }
         snapshot["clients"] = [client.connection_stats()
                                for client in clients]

@@ -8,6 +8,7 @@ Usage::
                        [--outbound-bound MESSAGES]
                        [--stall-deadline SECONDS]
                        [--render-workers N] [--render-min-rows ROWS]
+                       [--render-backend {serial,threads,procs}]
                        [--trunk-listen [HOST:]PORT]
                        [--trunk-route PREFIX=HOST:PORT]...
                        [--trunk-name NAME]
@@ -74,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="ROWS",
                         help="render plans below this many rows stay on "
                              "the serial path (default 4)")
+    parser.add_argument("--render-backend", default=None,
+                        choices=("serial", "threads", "procs"),
+                        help="render backend: 'threads' (default), "
+                             "'procs' (process sharding over shared "
+                             "memory), or 'serial' (no pool; env "
+                             "REPRO_RENDER_BACKEND)")
     parser.add_argument("--trunk-listen", default=None,
                         metavar="[HOST:]PORT",
                         help="accept inter-server telephony trunks on "
@@ -111,6 +118,7 @@ def main(argv: list[str] | None = None) -> int:
                          stall_deadline=args.stall_deadline,
                          render_workers=args.render_workers,
                          render_min_rows=args.render_min_rows,
+                         render_backend=args.render_backend,
                          trunk_listen=trunk_listen,
                          trunk_routes=trunk_routes,
                          trunk_name=args.trunk_name)

@@ -96,11 +96,26 @@ class RenderPool:
                     self._executor = executor
         return executor
 
+    def start(self) -> None:
+        """Interface parity with ProcessRenderPool; threads spawn lazily."""
+
+    def wait_ready(self, timeout: float = 0.0) -> int:
+        """Interface parity with ProcessRenderPool; always ready."""
+        return self.workers if self.enabled else 0
+
     def shutdown(self) -> None:
+        """Join the workers before teardown proceeds.
+
+        ``wait=True`` matters: with ``wait=False`` a shard mid-row could
+        still be touching devices (or emitting into a deferral buffer)
+        while the server tears the topology down under it.  The hub
+        thread is already stopped when this runs, so no new ticks can
+        submit work and the join is bounded by one in-flight row.
+        """
         with self._executor_lock:
             executor, self._executor = self._executor, None
         if executor is not None:
-            executor.shutdown(wait=False)
+            executor.shutdown(wait=True)
 
     # -- the parallel tick ----------------------------------------------------
 

@@ -1,0 +1,81 @@
+"""The lock-discipline lint: socket, sleep and IPC-wait rules."""
+
+import importlib.util
+import textwrap
+from pathlib import Path
+
+_SCRIPT = (Path(__file__).resolve().parent.parent
+           / "scripts" / "check_lock_discipline.py")
+_spec = importlib.util.spec_from_file_location("check_lock_discipline",
+                                               _SCRIPT)
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+def _check(tmp_path, source):
+    path = tmp_path / "module.py"
+    path.write_text(textwrap.dedent(source))
+    return [(line, reason) for _path, line, reason
+            in lint.check_file(path)]
+
+
+def test_socket_and_sleep_rules_still_fire(tmp_path):
+    violations = _check(tmp_path, """\
+        import time
+
+        def tick(self):
+            with self.lock:
+                self.sock.sendall(b"x")
+                time.sleep(1)
+    """)
+    assert [reason for _line, reason in violations] == [
+        "socket .sendall() under a lock", "time.sleep under a lock"]
+
+
+def test_ipc_wait_under_lock_is_flagged(tmp_path):
+    violations = _check(tmp_path, """\
+        def tick(self):
+            with self.lock:
+                self.conn.poll(1.0)
+                self.job_queue.get()
+                self.worker.join(2.0)
+                self.reply_conn.recv_bytes()
+    """)
+    assert [reason for _line, reason in violations] == [
+        "IPC wait .poll() under a lock",
+        "IPC wait .get() under a lock",
+        "IPC wait .join() under a lock",
+        "IPC wait .recv_bytes() under a lock",
+    ]
+
+
+def test_plain_dict_get_and_str_join_are_not_flagged(tmp_path):
+    violations = _check(tmp_path, """\
+        def tick(self):
+            with self.lock:
+                value = self.table.get("key")
+                text = ", ".join(self.names)
+                self.results.wait_list = []
+    """)
+    assert violations == []
+
+
+def test_lock_ok_pragma_exempts_a_bounded_wait(tmp_path):
+    violations = _check(tmp_path, """\
+        def tick(self):
+            with self.lock:
+                # lock-ok: bounded render barrier
+                self.conn.poll(0.5)
+                self.conn.poll(0.5)
+    """)
+    # Only the un-pragma'd second wait is flagged.
+    assert violations == [(5, "IPC wait .poll() under a lock")]
+
+
+def test_outside_lock_is_fine(tmp_path):
+    violations = _check(tmp_path, """\
+        def tick(self):
+            self.conn.poll(1.0)
+            self.sock.sendall(b"x")
+    """)
+    assert violations == []
