@@ -17,6 +17,13 @@ connection, worker or process).  Waiting on a worker process while
 holding the topology lock deadlocks the block cycle if the worker ever
 needs the lock's owner to make progress, so those are flagged too.
 
+The selector I/O shards (``server/ioloop.py``) add a third: a
+``.select()`` on a selector held under a lock parks the whole shard --
+every client on it -- behind whichever thread wants that lock, so
+selector waits join the flagged set.  The shard loop blocks in
+``select`` only lock-free; its ops queue is drained with the lock held
+for pointer swaps alone.
+
 A line may opt out with an explicit ``# lock-ok: <reason>`` pragma --
 used for waits that are *bounded* and by design part of the cycle
 itself (the render barrier), never for open-ended peers.
@@ -42,11 +49,14 @@ IPC_WAIT_ATTRS = frozenset({"poll", "recv_bytes"})
 
 #: Method names that mean an IPC wait only when the receiver looks like
 #: an IPC endpoint (``.get`` alone would flag every dict lookup).
-IPC_WAIT_ATTRS_NAMED = frozenset({"get", "join", "wait"})
+IPC_WAIT_ATTRS_NAMED = frozenset({"get", "join", "wait", "select"})
 
-#: Receiver-name fragments that mark an IPC endpoint.
+#: Receiver-name fragments that mark an IPC endpoint.  ``selector``
+#: makes ``self.selector.select(...)`` a flagged wait (the I/O-shard
+#: loop) without touching unrelated ``.select`` calls; the fragment is
+#: deliberately not ``sel``, which every ``self.*`` receiver contains.
 IPC_RECEIVER_HINTS = ("queue", "conn", "pipe", "sock", "proc", "worker",
-                      "shm", "process")
+                      "shm", "process", "selector")
 
 _SRC = Path(__file__).resolve().parent.parent / "src/repro"
 #: Directories whose code runs under (or takes) the server's locks: the

@@ -257,7 +257,8 @@ class MessageStream:
     """
 
     __slots__ = ("sock", "_header", "_header_view", "_payload",
-                 "_payload_view")
+                 "_payload_view", "_nb_got", "_nb_in_payload", "_nb_kind",
+                 "_nb_code", "_nb_sequence", "_nb_length", "_nb_view")
 
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
@@ -265,6 +266,18 @@ class MessageStream:
         self._header_view = memoryview(self._header)
         self._payload = bytearray(4096)
         self._payload_view = memoryview(self._payload)
+        # Incremental (non-blocking) framing state: how many bytes of
+        # the current header or payload have arrived so far, and the
+        # decoded header once it is complete.  Used only by
+        # :meth:`read_available`; the blocking path never leaves a
+        # partial message behind, so the two modes share the buffers.
+        self._nb_got = 0
+        self._nb_in_payload = False
+        self._nb_kind = MessageKind.REQUEST
+        self._nb_code = 0
+        self._nb_sequence = 0
+        self._nb_length = 0
+        self._nb_view: memoryview | None = None
 
     def read_message(self) -> Message:
         """Read one framed message (blocking)."""
@@ -288,6 +301,91 @@ class MessageStream:
             view = memoryview(bytearray(length))
         recv_exact_into(self.sock, view, length)
         return Message(kind, code, sequence, bytes(view[:length]))
+
+    def _parse_header(self) -> None:
+        """Decode the filled header buffer into the incremental state."""
+        kind, code, sequence, length = HEADER.unpack_from(self._header)
+        if length > MAX_PAYLOAD:
+            raise WireFormatError("declared payload of %d bytes too large"
+                                  % length)
+        try:
+            self._nb_kind = MessageKind(kind)
+        except ValueError as exc:
+            raise WireFormatError("unknown message kind %d" % kind) from exc
+        self._nb_code = code
+        self._nb_sequence = sequence
+        self._nb_length = length
+        self._nb_got = 0
+        self._nb_in_payload = True
+        if length == 0:
+            self._nb_view = None
+        elif length <= _REUSE_LIMIT:
+            if length > len(self._payload):
+                self._payload = bytearray(length)
+                self._payload_view = memoryview(self._payload)
+            self._nb_view = self._payload_view
+        else:
+            self._nb_view = memoryview(bytearray(length))
+
+    def _complete_message(self) -> Message:
+        payload = (bytes(self._nb_view[:self._nb_length])
+                   if self._nb_length else b"")
+        message = Message(self._nb_kind, self._nb_code, self._nb_sequence,
+                          payload)
+        self._nb_got = 0
+        self._nb_in_payload = False
+        self._nb_view = None
+        return message
+
+    def read_available(self, limit: int = 64) -> list[Message]:
+        """Drain complete messages from a *non-blocking* socket.
+
+        Returns every fully-arrived message (possibly none); a message
+        torn across TCP segments stays buffered as partial header or
+        payload bytes and is finished by a later call, so the decode is
+        byte-for-byte identical to the blocking :meth:`read_message`
+        however the stream is split (tests/test_protocol_fuzz.py proves
+        the property).  Never blocks: a read that would wait returns
+        what has been assembled so far.  Raises
+        :class:`ConnectionClosed` on EOF and :class:`WireFormatError`
+        on an unframeable stream, exactly like the blocking path.
+        """
+        messages: list[Message] = []
+        while len(messages) < limit:
+            if not self._nb_in_payload:
+                try:
+                    received = self.sock.recv_into(
+                        self._header_view[self._nb_got:])
+                except (BlockingIOError, InterruptedError):
+                    break
+                if received == 0:
+                    # EOF.  Hand back what this call already assembled;
+                    # the next call sees EOF again (recv keeps returning
+                    # zero) and raises with nothing pending, so a peer's
+                    # final burst is dispatched before the teardown.
+                    if messages:
+                        break
+                    raise ConnectionClosed("peer closed the connection")
+                self._nb_got += received
+                if self._nb_got < HEADER_SIZE:
+                    continue
+                self._parse_header()
+                if self._nb_length == 0:
+                    messages.append(self._complete_message())
+                continue
+            try:
+                received = self.sock.recv_into(
+                    self._nb_view[self._nb_got:self._nb_length])
+            except (BlockingIOError, InterruptedError):
+                break
+            if received == 0:
+                if messages:
+                    break
+                raise ConnectionClosed("peer closed the connection")
+            self._nb_got += received
+            if self._nb_got == self._nb_length:
+                messages.append(self._complete_message())
+        return messages
 
     def _readable(self) -> bool:
         """Whether a recv would return immediately (zero-timeout poll)."""

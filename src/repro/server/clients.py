@@ -7,9 +7,20 @@ manager keeps a container object for each client connection.  The
 container objects hold everything that is related to a particular client
 connection."  (paper section 6.1)
 
-Each client gets a reader thread (parses requests, dispatches under the
-server lock) and a writer thread (drains an outbound queue), so a slow
-client can never stall the audio hub.
+Two I/O backends drive a connection (docs/PERFORMANCE.md, "Connection
+scaling"):
+
+* **threads** -- a reader thread (parses requests, dispatches under the
+  server lock) and a writer thread (drains the outbound queue) per
+  client, so a slow client can never stall the audio hub;
+* **shards** -- no per-client threads at all: the connection is owned
+  by one of a small pool of selector-based I/O shards
+  (``server/ioloop.py``) that read, dispatch and write non-blockingly
+  for many clients at once.
+
+Whatever the backend, the dispatch path, outbound-queue semantics and
+wire format are identical; the thread backend stays the oracle the
+shard backend is equivalence-tested against (tests/test_ioloop.py).
 
 The outbound queue is *bounded* (graceful degradation, see
 docs/RELIABILITY.md): when a client stops reading, the oldest queued
@@ -60,7 +71,8 @@ class _OutboundQueue:
     client's own in-flight requests.
     """
 
-    __slots__ = ("bound", "_items", "_lock", "_ready", "dropped")
+    __slots__ = ("bound", "_items", "_lock", "_ready", "dropped",
+                 "on_ready")
 
     def __init__(self, bound: int) -> None:
         self.bound = bound
@@ -69,6 +81,10 @@ class _OutboundQueue:
         self._ready = threading.Condition(self._lock)
         #: Events shed so far (read by the owning connection's metrics).
         self.dropped = 0
+        #: Optional callback fired after every put -- the shard backend
+        #: hooks it to wake the owning I/O shard instead of a writer
+        #: thread.  Called outside the queue lock; must not block.
+        self.on_ready = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -89,6 +105,8 @@ class _OutboundQueue:
         with self._ready:
             self._put_locked(message, droppable)
             self._ready.notify()
+        if self.on_ready is not None:
+            self.on_ready()
 
     def put_many(self, messages, droppable: bool) -> None:
         """Append a batch under one lock round-trip and one wakeup."""
@@ -96,11 +114,20 @@ class _OutboundQueue:
             for message in messages:
                 self._put_locked(message, droppable)
             self._ready.notify()
+        if self.on_ready is not None:
+            self.on_ready()
 
     def get(self):
         with self._ready:
             while not self._items:
                 self._ready.wait()
+            return self._items.popleft()[1]
+
+    def pop_nowait(self):
+        """The next message, or None if the queue is empty (shards)."""
+        with self._lock:
+            if not self._items:
+                return None
             return self._items.popleft()[1]
 
 
@@ -139,18 +166,30 @@ class ClientConnection:
             "clients.outbound.dropped_events")
         self._outbound = _OutboundQueue(
             getattr(server, "outbound_bound", DEFAULT_OUTBOUND_BOUND))
-        #: Wall-clock instant the writer thread entered a socket write,
-        #: or None while it is idle/between writes.  Written only by the
-        #: writer thread; read by the server's stall sweep.
+        #: Wall-clock instant the writer (thread or shard) entered or
+        #: got stuck in a socket write for this client, or None while
+        #: idle.  Written by one thread at a time; read by the server's
+        #: stall sweep.
         self._writing_since: float | None = None
-        self._reader = threading.Thread(
-            target=self._read_loop, name="client-reader-%d" % id_base,
-            daemon=True)
-        self._writer = threading.Thread(
-            target=self._write_loop, name="client-writer-%d" % id_base,
-            daemon=True)
+        #: The owning I/O shard under the shards backend, else None.
+        #: Set by IOShard.add_client; close() defers socket teardown to
+        #: the shard so the selector never polls a dead descriptor.
+        self.io_shard = None
+        self._reader: threading.Thread | None = None
+        self._writer: threading.Thread | None = None
 
     def start(self) -> None:
+        """Hand the connection to its I/O backend (post-handshake)."""
+        ioloop = getattr(self.server, "ioloop", None)
+        if ioloop is not None:
+            ioloop.register(self)
+            return
+        self._reader = threading.Thread(
+            target=self._read_loop, name="client-reader-%d" % self.id_base,
+            daemon=True)
+        self._writer = threading.Thread(
+            target=self._write_loop, name="client-writer-%d" % self.id_base,
+            daemon=True)
         self._writer.start()
         self._reader.start()
 
@@ -290,6 +329,15 @@ class ClientConnection:
             return
         self.closed = True
         self._outbound.put(_SHUTDOWN, droppable=False)
+        shard = self.io_shard
+        if shard is not None:
+            # The shard owns the descriptor: closing it here would
+            # leave a dead fd registered in the selector (epoll drops
+            # it silently, so no event would ever fire to clean up).
+            # The shard unregisters, closes and runs the disconnect
+            # teardown on its own thread.
+            shard.defer_close(self)
+            return
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:

@@ -11,7 +11,10 @@ simultaneously."  (paper section 4.1)
 Threads (paper section 6.1 mapped onto our design; see DESIGN.md §4):
 
 * the **connection manager** accepts sockets and builds client containers;
-* **per-client reader/writer threads** parse requests and drain events;
+* **per-client reader/writer threads** parse requests and drain events
+  (the default ``threads`` I/O backend), or a small pool of
+  **selector-based I/O shards** does both non-blockingly for all
+  clients at once (``--io-backend shards``; ``ioloop.py``);
 * the **audio hub thread** is the device layer; the server registers one
   tick callback that runs the command-queue conductors and the wire-graph
   rendering engine inside the hub's block cycle;
@@ -78,6 +81,8 @@ class AudioServer:
                  render_workers: int | None = None,
                  render_min_rows: int | None = None,
                  render_backend: str | None = None,
+                 io_backend: str | None = None,
+                 io_shards: int | None = None,
                  trunk_listen: tuple[str, int] | None = None,
                  trunk_routes: list[tuple[str, str, int]] | None = None,
                  trunk_name: str = "") -> None:
@@ -156,6 +161,26 @@ class AudioServer:
             self.render_pool = RenderPool(
                 self, workers=0 if backend == "serial" else render_workers,
                 min_rows=render_min_rows)
+        #: Selectable connection I/O backend (docs/PERFORMANCE.md,
+        #: "Connection scaling"): "threads" keeps the per-client
+        #: reader/writer pumps (the oracle), "shards" hands every
+        #: post-handshake socket to a small pool of selector loops
+        #: (``ioloop.py``) so concurrency is no longer bounded by the
+        #: thread scheduler.
+        backend = (io_backend
+                   or os.environ.get("REPRO_IO_BACKEND", "")
+                   or "threads").strip().lower()
+        if backend not in ("threads", "shards"):
+            raise ValueError("unknown io backend %r (threads or shards)"
+                             % backend)
+        self.io_backend = backend
+        if backend == "shards":
+            from .ioloop import IOShardPool
+
+            self.ioloop: IOShardPool | None = IOShardPool(
+                self, shards=io_shards)
+        else:
+            self.ioloop = None
         #: Shared LRU of decoded sounds; dispatch attaches every sound a
         #: client creates or loads, so repeat plays skip the codec.
         self.decode_cache = DecodeCache(metrics=metrics)
@@ -357,7 +382,11 @@ class AudioServer:
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((self.host, self.port))
         self.port = self._listener.getsockname()[1]
-        self._listener.listen(32)
+        # A deep backlog: the C10k soak ramps hundreds of connects in
+        # bursts, and a 32-entry queue would silently reset the overflow.
+        self._listener.listen(1024)
+        if self.ioloop is not None:
+            self.ioloop.start()
         if self.trunk is not None:
             self.trunk.start()
         # Process workers spawn in the background; ticks render serially
@@ -384,6 +413,10 @@ class AudioServer:
                 pass
         for client in self.clients_snapshot():
             client.close()
+        if self.ioloop is not None:
+            # Drains the deferred closes above, then force-tears-down
+            # whatever is left before the shard threads exit.
+            self.ioloop.shutdown()
         if self.trunk is not None:
             self.trunk.stop()
         self.hub.stop()
@@ -581,7 +614,11 @@ class AudioServer:
             "block_frames": self.hub.block_frames,
             "clients_connected": len(clients),
             "render_backend": self.render_backend,
+            "io_backend": self.io_backend,
         }
+        if self.ioloop is not None:
+            snapshot["server"]["io_shard_clients"] = (
+                self.ioloop.client_counts())
         snapshot["clients"] = [client.connection_stats()
                                for client in clients]
         if self.trunk is not None:

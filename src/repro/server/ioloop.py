@@ -1,0 +1,424 @@
+"""Selector-based I/O shards: the C10k connection backend.
+
+The thread backend spends two OS threads per client (reader + writer
+pumps), which caps concurrency at thread-scheduler scale.  This module
+replaces them with a small pool of **I/O shards**: each shard is one
+thread running a ``selectors`` loop that owns N client sockets, does
+non-blocking reads into the connection's zero-copy
+:class:`~repro.protocol.wire.MessageStream` buffers
+(:meth:`~repro.protocol.wire.MessageStream.read_available`), feeds
+complete requests into the existing batched dispatch
+(:meth:`~.core.AudioServer.dispatch_batch`), and drains each client's
+bounded ``_OutboundQueue`` through writability callbacks.
+
+Everything above the transport is untouched: the block-cycle hub
+thread, the ranked lock hierarchy, backpressure (oldest-event shedding)
+and stall-deadline eviction, and the wire format are byte-identical to
+the thread backend, which remains the oracle (tests/test_ioloop.py).
+
+Cross-thread signalling goes through a per-shard wakeup socketpair: the
+hub thread queueing events, the stall sweep evicting a client, and the
+connection manager registering a fresh socket all append an op and
+write one byte; the shard drains both on its next loop turn.  No
+ranked lock is ever held across a socket op or a selector wait
+(scripts/check_lock_discipline.py enforces this for the whole module).
+
+Metrics: ``ioloop.shards``, ``ioloop.clients``, ``ioloop.accepts``,
+``ioloop.reads``, ``ioloop.writes``, ``ioloop.wakeups``,
+``ioloop.loop_lag_us`` (time a shard spends handling one batch of ready
+events -- the latency other clients on the shard see), and
+``ioloop.imbalance`` (max minus min clients across shards).
+"""
+
+from __future__ import annotations
+
+import collections
+import logging
+import os
+import selectors
+import socket
+import threading
+import time
+
+from ..obs import MICROSECOND_BUCKETS
+from ..protocol.wire import (
+    ConnectionClosed,
+    HEADER_SIZE,
+    MessageKind,
+    MessageStream,
+    WireFormatError,
+)
+from .clients import _SHUTDOWN, MAX_DISPATCH_BATCH
+
+log = logging.getLogger(__name__)
+
+#: Most messages one flush pass writes before yielding to other clients.
+MAX_FLUSH_BATCH = 64
+
+
+def default_shard_count() -> int:
+    """REPRO_IO_SHARDS, else a small pool scaled to the core count."""
+    configured = os.environ.get("REPRO_IO_SHARDS", "")
+    if configured:
+        return max(1, int(configured))
+    return max(2, min(8, os.cpu_count() or 1))
+
+
+class _ShardClient:
+    """Per-connection shard state: framing stream and write-out cursor."""
+
+    __slots__ = ("client", "stream", "out_view", "out_size", "sent",
+                 "want_write", "flush_queued", "gone")
+
+    def __init__(self, client) -> None:
+        self.client = client
+        self.stream = MessageStream(client.sock)
+        #: The partially-written encoded message, or None when idle.
+        self.out_view: memoryview | None = None
+        self.out_size = 0
+        self.sent = 0
+        self.want_write = False
+        #: Guarded by the shard's op lock: a flush op is already queued.
+        self.flush_queued = False
+        self.gone = False
+
+
+class IOShard:
+    """One selector loop owning a share of the client sockets."""
+
+    def __init__(self, pool: "IOShardPool", index: int) -> None:
+        self.pool = pool
+        self.server = pool.server
+        self.index = index
+        #: Clients currently assigned (written under the pool lock; the
+        #: pool balances new registrations onto the smallest shard).
+        self.client_count = 0
+        self._selector = selectors.DefaultSelector()
+        self._states: dict[object, _ShardClient] = {}
+        self._ops: collections.deque = collections.deque()
+        self._ops_lock = threading.Lock()
+        self._wakeup_rx, self._wakeup_tx = socket.socketpair()
+        self._wakeup_rx.setblocking(False)
+        self._wakeup_tx.setblocking(False)
+        self._selector.register(self._wakeup_rx, selectors.EVENT_READ, None)
+        self._running = False
+        self._thread: threading.Thread | None = None
+
+    # -- cross-thread entry points -------------------------------------------
+
+    def defer_add(self, client) -> None:
+        """Queue a freshly-handshaken connection for this shard."""
+        with self._ops_lock:
+            self._ops.append(("add", client))
+        self._signal()
+
+    def defer_close(self, client) -> None:
+        """Queue a teardown (eviction, server stop, client.close())."""
+        with self._ops_lock:
+            self._ops.append(("close", client))
+        self._signal()
+
+    def _make_ready_hook(self, state: _ShardClient):
+        """The outbound queue's on_ready: one queued flush per burst."""
+        def on_ready() -> None:
+            with self._ops_lock:
+                if state.flush_queued or state.gone:
+                    return
+                state.flush_queued = True
+                self._ops.append(("flush", state.client))
+            self._signal()
+        return on_ready
+
+    def _signal(self) -> None:
+        try:
+            self._wakeup_tx.send(b"\0")
+        except (BlockingIOError, InterruptedError):
+            pass    # pipe already full: a wakeup is pending anyway
+        except OSError:
+            pass    # shard shut down under us
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._run, name="io-shard-%d" % self.index, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        self._signal()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for state in list(self._states.values()):
+            self._teardown(state)
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        for sock in (self._wakeup_rx, self._wakeup_tx):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- the loop ------------------------------------------------------------
+
+    def _run(self) -> None:
+        pool = self.pool
+        while self._running:
+            try:
+                events = self._selector.select()
+            except OSError:
+                continue
+            started = time.perf_counter()
+            for key, mask in events:
+                if key.data is None:        # the wakeup pipe
+                    self._drain_wakeup()
+                    continue
+                state: _ShardClient = key.data
+                if state.gone:
+                    continue
+                try:
+                    if mask & selectors.EVENT_WRITE:
+                        self._flush(state)
+                    if not state.gone and (mask & selectors.EVENT_READ):
+                        self._on_readable(state)
+                except Exception:
+                    log.exception("io-shard-%d: client %r handler failed",
+                                  self.index, state.client.name)
+                    self._teardown(state)
+            self._process_ops()
+            if events:
+                pool._m_loop_lag.observe(
+                    (time.perf_counter() - started) * 1e6)
+
+    def _drain_wakeup(self) -> None:
+        drained = 0
+        while True:
+            try:
+                chunk = self._wakeup_rx.recv(4096)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                break
+            if not chunk:
+                break
+            drained += len(chunk)
+        if drained:
+            self.pool._m_wakeups.inc(drained)
+
+    def _process_ops(self) -> None:
+        while True:
+            with self._ops_lock:
+                if not self._ops:
+                    return
+                op, target = self._ops.popleft()
+                if op == "flush":
+                    state = self._states.get(target)
+                    if state is not None:
+                        state.flush_queued = False
+            if op == "add":
+                self._add_client(target)
+            elif op == "close":
+                state = self._states.get(target)
+                if state is not None:
+                    self._teardown(state)
+            elif op == "flush":
+                if state is not None and not state.gone:
+                    self._flush(state)
+
+    # -- per-client handling -------------------------------------------------
+
+    def _add_client(self, client) -> None:
+        if not self._running or client.closed:
+            # Registered during shutdown (or closed mid-handshake):
+            # finish the disconnect path instead of leaking the socket.
+            client.io_shard = None
+            self.pool.client_removed(self)
+            self.server.client_disconnected(client)
+            return
+        client.sock.setblocking(False)
+        state = _ShardClient(client)
+        self._states[client] = state
+        try:
+            self._selector.register(client.sock, selectors.EVENT_READ,
+                                    state)
+        except (OSError, ValueError):
+            self._states.pop(client, None)
+            client.io_shard = None
+            self.pool.client_removed(self)
+            self.server.client_disconnected(client)
+            return
+        client._outbound.on_ready = self._make_ready_hook(state)
+        # Events queued between the handshake and this registration had
+        # no hook to fire; drain whatever is already waiting.
+        self._flush(state)
+
+    def _on_readable(self, state: _ShardClient) -> None:
+        client = state.client
+        try:
+            messages = state.stream.read_available(MAX_DISPATCH_BATCH)
+        except (ConnectionClosed, OSError, WireFormatError):
+            self._teardown(state)
+            return
+        if not messages:
+            return
+        batch = []
+        clean = True
+        for message in messages:
+            if message.kind is not MessageKind.REQUEST:
+                clean = False   # clients only send requests
+                break
+            size = HEADER_SIZE + len(message.payload)
+            client.bytes_in += size
+            client.requests_received += 1
+            client._m_bytes_in.inc(size)
+            client._m_messages_in.inc()
+            batch.append(message)
+        if batch:
+            self.pool._m_reads.inc(len(batch))
+            # Sequence accounting happens per message inside the batch
+            # dispatch, exactly as on the reader-thread path.
+            self.server.dispatch_batch(client, batch)
+        if not clean:
+            self._teardown(state)
+
+    def _flush(self, state: _ShardClient) -> None:
+        """Write queued outbound messages until the socket pushes back."""
+        client = state.client
+        sock = client.sock
+        written = 0
+        while written < MAX_FLUSH_BATCH:
+            if state.out_view is None:
+                message = client._outbound.pop_nowait()
+                if message is None:
+                    break
+                if message is _SHUTDOWN:
+                    self._teardown(state)
+                    return
+                try:
+                    encoded = message.encode()
+                except WireFormatError:
+                    self._teardown(state)
+                    return
+                state.out_view = memoryview(encoded)
+                state.out_size = len(encoded)
+                state.sent = 0
+                if client._writing_since is None:
+                    client._writing_since = time.monotonic()
+            try:
+                sent = sock.send(state.out_view[state.sent:])
+            except (BlockingIOError, InterruptedError):
+                self._want_write(state, True)
+                return
+            except OSError:
+                self._teardown(state)
+                return
+            state.sent += sent
+            if state.sent < state.out_size:
+                continue
+            client._writing_since = None
+            client.bytes_out += state.out_size
+            client.messages_sent += 1
+            client._m_bytes_out.inc(state.out_size)
+            client._m_messages_out.inc()
+            self.pool._m_writes.inc()
+            state.out_view = None
+            written += 1
+        if state.out_view is None and len(client._outbound) == 0:
+            self._want_write(state, False)
+        else:
+            # More queued than one fairness slice allows: stay armed for
+            # writability so the drain resumes next loop turn.
+            self._want_write(state, True)
+
+    def _want_write(self, state: _ShardClient, flag: bool) -> None:
+        if state.want_write == flag:
+            return
+        state.want_write = flag
+        events = selectors.EVENT_READ
+        if flag:
+            events |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(state.client.sock, events, state)
+        except (KeyError, OSError, ValueError):
+            pass
+
+    def _teardown(self, state: _ShardClient) -> None:
+        """Unregister, close, and run the disconnect teardown -- the
+        shard-side equivalent of the reader thread's finally clause."""
+        if state.gone:
+            return
+        client = state.client
+        with self._ops_lock:
+            state.gone = True
+        client._outbound.on_ready = None
+        self._states.pop(client, None)
+        try:
+            self._selector.unregister(client.sock)
+        except (KeyError, OSError, ValueError):
+            pass
+        client._writing_since = None
+        # Detach before the disconnect teardown: client.close() must now
+        # shut the socket itself rather than deferring back to us.
+        client.io_shard = None
+        self.pool.client_removed(self)
+        self.server.client_disconnected(client)
+
+
+class IOShardPool:
+    """The shard set plus balancing and observability."""
+
+    def __init__(self, server, shards: int | None = None) -> None:
+        self.server = server
+        count = shards if shards is not None else default_shard_count()
+        if count < 1:
+            raise ValueError("io shard count must be >= 1")
+        metrics = server.metrics
+        self._m_shards = metrics.gauge("ioloop.shards")
+        self._m_clients = metrics.gauge("ioloop.clients")
+        self._m_imbalance = metrics.gauge("ioloop.imbalance")
+        self._m_accepts = metrics.counter("ioloop.accepts")
+        self._m_reads = metrics.counter("ioloop.reads")
+        self._m_writes = metrics.counter("ioloop.writes")
+        self._m_wakeups = metrics.counter("ioloop.wakeups")
+        self._m_loop_lag = metrics.histogram("ioloop.loop_lag_us",
+                                             edges=MICROSECOND_BUCKETS)
+        self._lock = threading.Lock()
+        self.shards = [IOShard(self, index) for index in range(count)]
+        self._m_shards.set(count)
+
+    def start(self) -> None:
+        for shard in self.shards:
+            shard.start()
+
+    def shutdown(self) -> None:
+        for shard in self.shards:
+            shard.stop()
+
+    def register(self, client) -> None:
+        """Assign a handshaken connection to the least-loaded shard."""
+        with self._lock:
+            shard = min(self.shards, key=lambda s: s.client_count)
+            shard.client_count += 1
+            client.io_shard = shard
+            self._update_gauges_locked()
+        self._m_accepts.inc()
+        shard.defer_add(client)
+
+    def client_removed(self, shard: IOShard) -> None:
+        with self._lock:
+            shard.client_count = max(0, shard.client_count - 1)
+            self._update_gauges_locked()
+
+    def _update_gauges_locked(self) -> None:
+        counts = [shard.client_count for shard in self.shards]
+        self._m_clients.set(sum(counts))
+        self._m_imbalance.set(max(counts) - min(counts))
+
+    def client_counts(self) -> list[int]:
+        """Per-shard client counts (stats snapshot / tests)."""
+        with self._lock:
+            return [shard.client_count for shard in self.shards]

@@ -9,6 +9,7 @@ Usage::
                        [--stall-deadline SECONDS]
                        [--render-workers N] [--render-min-rows ROWS]
                        [--render-backend {serial,threads,procs}]
+                       [--io-backend {threads,shards}] [--io-shards N]
                        [--trunk-listen [HOST:]PORT]
                        [--trunk-route PREFIX=HOST:PORT]...
                        [--trunk-name NAME]
@@ -81,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "'procs' (process sharding over shared "
                              "memory), or 'serial' (no pool; env "
                              "REPRO_RENDER_BACKEND)")
+    parser.add_argument("--io-backend", default=None,
+                        choices=("threads", "shards"),
+                        help="connection I/O backend: 'threads' (default; "
+                             "reader+writer pumps per client) or 'shards' "
+                             "(selector-loop pool, C10k scale; env "
+                             "REPRO_IO_BACKEND)")
+    parser.add_argument("--io-shards", type=int, default=None, metavar="N",
+                        help="selector loops in the shards backend "
+                             "(default: scaled to the core count; env "
+                             "REPRO_IO_SHARDS)")
     parser.add_argument("--trunk-listen", default=None,
                         metavar="[HOST:]PORT",
                         help="accept inter-server telephony trunks on "
@@ -119,6 +130,8 @@ def main(argv: list[str] | None = None) -> int:
                          render_workers=args.render_workers,
                          render_min_rows=args.render_min_rows,
                          render_backend=args.render_backend,
+                         io_backend=args.io_backend,
+                         io_shards=args.io_shards,
                          trunk_listen=trunk_listen,
                          trunk_routes=trunk_routes,
                          trunk_name=args.trunk_name)

@@ -1,0 +1,363 @@
+"""Backend equivalence: selector I/O shards vs thread-per-client.
+
+The shard backend (src/repro/server/ioloop.py) replaces the per-client
+reader/writer threads with a pool of selector loops.  Everything a
+client can observe must be identical: these tests run the same seeded
+workload against both backends and compare the complete per-client wire
+transcripts (replies, errors, event order, sequence numbers, payload
+bytes), then check the graceful-degradation behaviors -- oldest-event
+shedding and stall-deadline eviction -- still fire under shards, and
+that the chaos-tier story (jittery links, resets, session resume) holds
+with the shard backend underneath.
+
+Determinism recipe: the hub is stepped manually (``start_hub=False``),
+every asynchronous request is followed by a sync round-trip before the
+next hub step, and all randomness comes from one seeded RNG -- so two
+runs differ only in the backend under test.
+"""
+
+import socket
+import threading
+import time
+import random
+
+import pytest
+
+from repro.alib import AudioClient
+from repro.bench.loadgen import run_load
+from repro.chaos import ChaosProxy, FaultSchedule
+from repro.hardware import HardwareConfig
+from repro.protocol import requests as rq
+from repro.protocol.attributes import AttributeList
+from repro.protocol.setup import SetupReply, SetupRequest
+from repro.protocol.types import (
+    Command,
+    DeviceClass,
+    EventMask,
+    PCM16_8K,
+    QueueOp,
+    StackPosition,
+)
+from repro.protocol.wire import (
+    Message,
+    MessageKind,
+    MessageStream,
+    set_nodelay,
+)
+from repro.server import AudioServer
+
+from conftest import wait_for
+from test_backpressure import start_stalled_flood, staller_connection
+
+BACKENDS = ("threads", "shards")
+
+
+class WireClient:
+    """A blocking raw-protocol client that records its whole inbound
+    stream in order -- the equivalence transcript."""
+
+    def __init__(self, port: int, name: str) -> None:
+        self.sock = socket.create_connection(("127.0.0.1", port))
+        set_nodelay(self.sock)
+        self.sock.sendall(SetupRequest(client_name=name).encode())
+        reply = SetupReply.read_from(self.sock)
+        assert reply.accepted
+        self.id_base = reply.id_base
+        self._next_id = reply.id_base
+        self.stream = MessageStream(self.sock)
+        self.sequence = 0
+        #: Every inbound message as (kind, code, sequence, payload).
+        self.transcript: list[tuple] = []
+
+    def alloc(self) -> int:
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    def send(self, request: rq.Request) -> int:
+        self.sequence = (self.sequence + 1) & 0xFFFF
+        self.sock.sendall(Message(MessageKind.REQUEST, int(request.OPCODE),
+                                  self.sequence, request.encode()).encode())
+        return self.sequence
+
+    def round_trip(self, request: rq.Request) -> Message:
+        """Send and read (recording everything) until the reply lands."""
+        want = self.send(request)
+        while True:
+            message = self.stream.read_message()
+            self.transcript.append((int(message.kind), message.code,
+                                    message.sequence, message.payload))
+            if (message.kind in (MessageKind.REPLY, MessageKind.ERROR)
+                    and message.sequence == want):
+                return message
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _build_session(client: WireClient) -> dict:
+    """A playback LOUD with QUEUE+LOUD events and a one-block sound."""
+    ids = {"loud": client.alloc(), "player": client.alloc(),
+           "output": client.alloc(), "wire": client.alloc(),
+           "sound": client.alloc()}
+    samples = bytes(range(256)) * 10        # 1280 bytes = 640 pcm frames
+    for request in (
+            rq.CreateLoud(ids["loud"]),
+            rq.CreateVirtualDevice(ids["player"], ids["loud"],
+                                   DeviceClass.PLAYER),
+            rq.CreateVirtualDevice(ids["output"], ids["loud"],
+                                   DeviceClass.OUTPUT),
+            rq.CreateWire(ids["wire"], ids["player"], 0, ids["output"], 0),
+            rq.SelectEvents(ids["loud"],
+                            EventMask.QUEUE | EventMask.LIFECYCLE),
+            rq.MapLoud(ids["loud"]),
+            rq.CreateSound(ids["sound"], PCM16_8K),
+            rq.WriteSoundData(ids["sound"], 0, samples),
+            rq.ControlQueue(ids["loud"], QueueOp.START)):
+        client.send(request)
+    client.round_trip(rq.GetTime())     # barrier: all of it dispatched
+    return ids
+
+
+def run_workload(backend: str, seed: int = 1234, clients: int = 3,
+                 rounds: int = 60) -> list[list[tuple]]:
+    """The seeded workload's complete per-client transcripts."""
+    # Command serials are allocated from a process-global counter
+    # (qprogram._serials); pin it so the two runs' COMMAND_DONE events
+    # carry identical serials and transcripts compare byte-for-byte.
+    import itertools
+
+    from repro.server import qprogram
+    qprogram._serials = itertools.count(1)
+    server = AudioServer(HardwareConfig(), io_backend=backend, io_shards=2)
+    server.start(start_hub=False)
+    wire_clients = []
+    try:
+        rng = random.Random(seed)
+        wire_clients = [WireClient(server.port, "eq-%d" % index)
+                        for index in range(clients)]
+        sessions = [_build_session(client) for client in wire_clients]
+        for _round in range(rounds):
+            index = rng.randrange(clients)
+            client, ids = wire_clients[index], sessions[index]
+            action = rng.random()
+            if action < 0.2:
+                client.send(rq.IssueCommand(
+                    ids["loud"], ids["player"], Command.PLAY,
+                    args=AttributeList.of(sound=ids["sound"])))
+                client.round_trip(rq.GetTime())
+            elif action < 0.4:
+                client.round_trip(rq.QueryLoud(ids["loud"]))
+            elif action < 0.55:
+                client.round_trip(rq.QueryQueue(ids["loud"]))
+            elif action < 0.7:
+                client.round_trip(rq.QueryServer())
+            elif action < 0.85:
+                position = (StackPosition.TOP if rng.random() < 0.5
+                            else StackPosition.BOTTOM)
+                client.send(rq.RestackLoud(ids["loud"], position))
+                client.round_trip(rq.GetTime())
+            else:
+                server.hub.step(rng.randint(1, 3))
+        server.hub.step(5)
+        # Final barrier per client so every queued event is transcribed.
+        for client in wire_clients:
+            client.round_trip(rq.GetTime())
+        return [client.transcript for client in wire_clients]
+    finally:
+        for client in wire_clients:
+            client.close()
+        server.stop()
+
+
+class TestBackendEquivalence:
+    def test_identical_transcripts(self):
+        """Same replies, errors, event order and payload bytes."""
+        threads = run_workload("threads")
+        shards = run_workload("shards")
+        assert threads == shards
+
+    def test_identical_transcripts_second_seed(self):
+        threads = run_workload("threads", seed=99, clients=4, rounds=40)
+        shards = run_workload("shards", seed=99, clients=4, rounds=40)
+        assert threads == shards
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_errors_reach_the_client(self, backend):
+        """Bad requests produce the same visible error on each backend."""
+        server = AudioServer(HardwareConfig(), io_backend=backend,
+                             io_shards=2)
+        server.start(start_hub=False)
+        try:
+            client = WireClient(server.port, "errs")
+            message = client.round_trip(rq.QueryLoud(999999))
+            assert message.kind is MessageKind.ERROR
+            client.close()
+        finally:
+            server.stop()
+
+
+class TestShardBookkeeping:
+    def test_clients_balance_across_shards(self):
+        server = AudioServer(HardwareConfig(), io_backend="shards",
+                             io_shards=3)
+        server.start(start_hub=False)
+        clients = []
+        try:
+            clients = [WireClient(server.port, "bal-%d" % index)
+                       for index in range(9)]
+            for client in clients:
+                client.round_trip(rq.GetTime())
+            counts = server.ioloop.client_counts()
+            assert sum(counts) == 9
+            assert max(counts) - min(counts) <= 1
+            gauges = server.metrics.snapshot()["gauges"]
+            assert gauges["ioloop.shards"] == 3
+            assert gauges["ioloop.clients"] == 9
+        finally:
+            for client in clients:
+                client.close()
+            server.stop()
+
+    def test_disconnects_release_shard_slots(self):
+        server = AudioServer(HardwareConfig(), io_backend="shards",
+                             io_shards=2)
+        server.start(start_hub=False)
+        try:
+            clients = [WireClient(server.port, "rel-%d" % index)
+                       for index in range(6)]
+            for client in clients:
+                client.round_trip(rq.GetTime())
+            for client in clients:
+                client.close()
+            assert wait_for(
+                lambda: sum(server.ioloop.client_counts()) == 0)
+            assert wait_for(lambda: not server.clients_snapshot())
+        finally:
+            server.stop()
+
+
+@pytest.fixture(params=BACKENDS)
+def tight_server_both(request):
+    """A small-bound, short-deadline server on each backend."""
+    server = AudioServer(HardwareConfig(), outbound_bound=64,
+                         stall_deadline=1.0, io_backend=request.param,
+                         io_shards=2)
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestEvictionEquivalence:
+    def test_stalled_consumer_shed_and_evicted(self, tight_server_both):
+        """Oldest-event shedding and stall eviction fire on both
+        backends, and a concurrent clean client is untouched."""
+        server = tight_server_both
+        clean = AudioClient(port=server.port, client_name="clean")
+        sock = None
+        try:
+            sock = start_stalled_flood(server)
+            assert wait_for(lambda: staller_connection(server) is not None)
+            victim = staller_connection(server)
+            victim.sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF,
+                                   4096)
+            assert wait_for(lambda: victim.dropped_events > 0, timeout=30)
+            for _sample in range(50):
+                assert victim.queue_depth <= 64
+            assert wait_for(lambda: victim.evicted, timeout=30)
+            assert wait_for(lambda: staller_connection(server) is None,
+                            timeout=10)
+            assert server.metrics.counter("clients.evicted_slow").value >= 1
+            # The clean client's session still works end to end.
+            clean.sync()
+            assert clean.server_info().protocol_major >= 1
+        finally:
+            clean.close()
+            if sock is not None:
+                sock.close()
+
+
+class TestChaosUnderShards:
+    """The chaos-tier soak: jittery, resetting links under shards."""
+
+    def _shard_server(self) -> AudioServer:
+        server = AudioServer(HardwareConfig(), realtime=True,
+                             io_backend="shards", io_shards=2)
+        server.start()
+        return server
+
+    def test_clean_clients_unaffected_by_chaotic_load(self):
+        """Load through a jittery, resetting proxy; a direct client
+        sees zero errors the whole time."""
+        server = self._shard_server()
+        proxy = ChaosProxy(("127.0.0.1", server.port),
+                           schedule=FaultSchedule(seed=5, latency=0.001,
+                                                  jitter=0.003)).start()
+        clean = AudioClient(port=server.port, client_name="clean-chaos")
+        clean_errors = []
+        stop = threading.Event()
+
+        def clean_loop():
+            while not stop.is_set():
+                try:
+                    clean.conn.round_trip(rq.GetTime())
+                except Exception as exc:    # noqa: BLE001 - recorded
+                    clean_errors.append(exc)
+                    return
+                time.sleep(0.01)
+
+        pounder = threading.Thread(target=clean_loop, daemon=True)
+        severs = threading.Thread(
+            target=lambda: (time.sleep(0.8), proxy.sever_all(),
+                            time.sleep(0.8), proxy.sever_all()),
+            daemon=True)
+        try:
+            pounder.start()
+            severs.start()
+            stats = run_load("127.0.0.1", proxy.port, sessions=25,
+                             duration=2.5, seed=21, churn_fraction=0.05)
+            severs.join(timeout=10)
+            stop.set()
+            pounder.join(timeout=10)
+            # The chaotic cohort took real faults (severed mid-run)...
+            assert stats.connects > 0
+            # ...but faults never became protocol corruption, and the
+            # direct client rode through untouched.
+            assert stats.protocol_errors == 0
+            assert not clean_errors
+            clean.sync()
+        finally:
+            stop.set()
+            clean.close()
+            proxy.stop()
+            server.stop()
+
+    def test_reconnect_and_resume_under_shards(self):
+        """A reconnect=True session severed mid-life resumes its id
+        range and its journal, with shards owning every socket."""
+        server = self._shard_server()
+        proxy = ChaosProxy(("127.0.0.1", server.port)).start()
+        client = AudioClient(port=proxy.port, client_name="resume",
+                             reconnect=True, request_timeout=5.0)
+        try:
+            loud = client.create_loud()
+            loud.select_events(EventMask.QUEUE)
+            loud.map()
+            client.sync()
+            id_base = client.conn.id_base
+            before = client.conn.reconnects
+            proxy.sever_all()
+            assert wait_for(lambda: client.conn.reconnects > before,
+                            timeout=30)
+            assert client.conn.id_base == id_base
+            # The replayed session still owns its resources.
+            reply = loud.query()
+            assert reply.mapped
+            client.sync()
+        finally:
+            client.close()
+            proxy.stop()
+            server.stop()

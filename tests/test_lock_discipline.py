@@ -60,6 +60,37 @@ def test_plain_dict_get_and_str_join_are_not_flagged(tmp_path):
     assert violations == []
 
 
+def test_selector_select_under_lock_is_flagged(tmp_path):
+    """The I/O-shard hazard: blocking in select while holding a lock
+    parks every client on the shard behind that lock's waiters."""
+    violations = _check(tmp_path, """\
+        def run(self):
+            with self._ops_lock:
+                events = self.selector.select(0.1)
+    """)
+    assert violations == [(3, "IPC wait .select() under a lock")]
+
+
+def test_select_on_non_selector_receiver_is_not_flagged(tmp_path):
+    violations = _check(tmp_path, """\
+        def run(self):
+            with self.lock:
+                chosen = self.policy.select(candidates)
+    """)
+    assert violations == []
+
+
+def test_selector_select_outside_lock_is_fine(tmp_path):
+    violations = _check(tmp_path, """\
+        def run(self):
+            while self.running:
+                events = self.selector.select(0.5)
+                with self._ops_lock:
+                    ops = list(self._ops)
+    """)
+    assert violations == []
+
+
 def test_lock_ok_pragma_exempts_a_bounded_wait(tmp_path):
     violations = _check(tmp_path, """\
         def tick(self):

@@ -148,6 +148,98 @@ class TestAdversarialFraming:
         assert halved == whole
 
 
+class _NonBlockingFakeSocket:
+    """A non-blocking socket double: scripted chunks plus EWOULDBLOCKs.
+
+    Like :class:`_ChunkedFakeSocket`, but a scripted size of 0 makes the
+    next ``recv_into`` raise ``BlockingIOError`` -- the shape a selector
+    shard sees: partial reads split anywhere, interleaved with
+    would-block returns whenever the kernel buffer runs dry.
+    """
+
+    def __init__(self, data: bytes, script: list[int]) -> None:
+        self._data = data
+        self._offset = 0
+        self._script = list(script)
+
+    def recv_into(self, view) -> int:
+        if self._script and self._script[0] == 0:
+            self._script.pop(0)
+            raise BlockingIOError
+        remaining = len(self._data) - self._offset
+        if remaining == 0:
+            return 0
+        limit = self._script.pop(0) if self._script else remaining
+        count = max(1, min(limit, remaining, len(view)))
+        view[:count] = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return count
+
+
+class TestNonBlockingReassembly:
+    """MessageStream.read_available (the I/O-shard read path) must
+    reassemble exactly what the blocking reader decodes, whatever the
+    split points and however many would-block pauses interrupt it."""
+
+    MESSAGES = TestAdversarialFraming.MESSAGES
+
+    @staticmethod
+    def _drain(stream, count, limit=64):
+        """Call read_available until ``count`` messages came out."""
+        out = []
+        for _attempt in range(10_000):
+            if len(out) >= count:
+                return out
+            out.extend(stream.read_available(limit))
+        raise AssertionError("stream never produced %d messages" % count)
+
+    @given(MESSAGES, st.lists(st.integers(0, 64), max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_nonblocking_reads_match_blocking_reader(self, messages,
+                                                     script):
+        data = b"".join(message.encode() for message in messages)
+        whole = TestAdversarialFraming._decode_all(data, [], len(messages))
+        stream = MessageStream(_NonBlockingFakeSocket(data, script))
+        assert self._drain(stream, len(messages)) == whole
+
+    @given(MESSAGES)
+    @settings(max_examples=50, deadline=None)
+    def test_byte_at_a_time_with_blocks_between_every_byte(self, messages):
+        data = b"".join(message.encode() for message in messages)
+        whole = TestAdversarialFraming._decode_all(data, [], len(messages))
+        script = [0, 1] * len(data)     # block, one byte, block, ...
+        stream = MessageStream(_NonBlockingFakeSocket(data, script))
+        assert self._drain(stream, len(messages)) == whole
+
+    @given(st.lists(MESSAGES, min_size=2, max_size=4), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_interleaved_clients_on_one_shard(self, per_client, data):
+        """Round-robin read_available over several streams -- one shard
+        servicing many clients -- decodes each stream independently and
+        identically to its own blocking read, even with a small batch
+        limit forcing re-entry mid-burst."""
+        streams, totals, expected = [], [], []
+        for messages in per_client:
+            raw = b"".join(message.encode() for message in messages)
+            script = data.draw(st.lists(st.integers(0, 32), max_size=60))
+            streams.append(MessageStream(_NonBlockingFakeSocket(raw,
+                                                                script)))
+            totals.append(len(messages))
+            expected.append(TestAdversarialFraming._decode_all(
+                raw, [], len(messages)))
+        results = [[] for _stream in streams]
+        for _sweep in range(10_000):
+            progress_needed = False
+            for index, stream in enumerate(streams):
+                if len(results[index]) < totals[index]:
+                    results[index].extend(stream.read_available(2))
+                    if len(results[index]) < totals[index]:
+                        progress_needed = True
+            if not progress_needed:
+                break
+        assert results == expected
+
+
 class TestRoundTripCompleteness:
     def test_every_request_class_default_roundtrips(self):
         """Every request built from minimal defaults survives
