@@ -349,20 +349,34 @@ class IOShard:
     def _teardown(self, state: _ShardClient) -> None:
         """Unregister, close, and run the disconnect teardown -- the
         shard-side equivalent of the reader thread's finally clause."""
-        if state.gone:
-            return
-        client = state.client
+        # Atomic check-and-set: stop()'s direct teardown loop can race a
+        # wedged shard thread, and both must not run the teardown.
         with self._ops_lock:
+            if state.gone:
+                return
             state.gone = True
+        client = state.client
         client._outbound.on_ready = None
         self._states.pop(client, None)
         try:
             self._selector.unregister(client.sock)
         except (KeyError, OSError, ValueError):
             pass
+        # The shard owns the descriptor: externally-initiated closes
+        # (stall eviction, server stop) defer here without touching the
+        # socket, so the FIN/RST the peer is owed must be sent now.
+        try:
+            client.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            client.sock.close()
+        except OSError:
+            pass
         client._writing_since = None
-        # Detach before the disconnect teardown: client.close() must now
-        # shut the socket itself rather than deferring back to us.
+        # Detach before the disconnect teardown so a re-entrant
+        # client.close() no longer defers back to us; its own
+        # shutdown/close of the already-closed socket is harmless.
         client.io_shard = None
         self.pool.client_removed(self)
         self.server.client_disconnected(client)

@@ -240,6 +240,44 @@ class TestShardBookkeeping:
             server.stop()
 
 
+class TestExternallyInitiatedClose:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_server_side_close_reaches_the_peer(self, backend):
+        """A close the server initiates (stall eviction, admin stop)
+        must actually shut the socket: the peer observes FIN/RST
+        instead of a connection it believes is still live, and no fd
+        is left open server-side."""
+        server = AudioServer(HardwareConfig(), io_backend=backend,
+                             io_shards=2)
+        server.start(start_hub=False)
+        client = None
+        try:
+            client = WireClient(server.port, "peer-eof")
+            client.round_trip(rq.GetTime())
+            victim = next(c for c in server.clients_snapshot()
+                          if c.name == "peer-eof")
+            victim.close()       # the stall sweep's eviction path
+            client.sock.settimeout(10.0)
+            observed_close = False
+            try:
+                while client.sock.recv(4096):
+                    pass
+                observed_close = True           # clean FIN
+            except ConnectionResetError:
+                observed_close = True           # RST: also a close
+            except TimeoutError:
+                pass                            # the leak: still "live"
+            assert observed_close, (
+                "peer never saw FIN/RST after server-side close "
+                "(backend=%s)" % backend)
+            assert wait_for(lambda: not server.clients_snapshot())
+            assert victim.sock.fileno() == -1   # fd actually released
+        finally:
+            if client is not None:
+                client.close()
+            server.stop()
+
+
 @pytest.fixture(params=BACKENDS)
 def tight_server_both(request):
     """A small-bound, short-deadline server on each backend."""
