@@ -133,3 +133,213 @@ def test_trunk_soak_under_chaos(report):
         server_a.stop()
         proxy.stop()
         server_b.stop()
+
+
+# -- E16: bearer fast-path fanout ---------------------------------------------
+#
+# scaled(256, 32) concurrent calls ride ONE trunk link; the callers all
+# speak every tick, driven as fast as the exchanges can tick (no
+# real-time pacing).  The same workload runs twice -- once with
+# AUDIO_BATCH negotiated (minor 1) and once with batching disabled, the
+# per-frame PR 5 oracle path -- and the batched bearer must move >= 3x
+# the frames/s with sample-identical far-end audio and zero
+# jitter-buffer regressions.
+
+import numpy as np
+
+from repro.dsp.encodings import mulaw_decode, mulaw_encode
+from repro.telephony import TelephoneExchange
+
+BLOCK = 160
+
+#: Concurrent calls sharing the single trunk link.
+FANOUT_CALLS = scaled(256, 32)
+#: Measured talk window, in 20 ms blocks per call.
+FANOUT_TALK_TICKS = scaled(50, 20)
+#: The acceptance gate: batched bearer throughput vs the oracle.
+FANOUT_MIN_SPEEDUP = 3.0
+
+
+def _call_stream(index):
+    """A deterministic per-call block whose mu-law roundtrip has no
+    zero samples (so concealment silence is distinguishable)."""
+    ramp = (np.arange(BLOCK, dtype=np.int16) * 13) % 331
+    return (ramp + 100 + index).astype(np.int16)
+
+
+def _measure_fanout(batch_enabled, calls, talk_ticks):
+    """Run the fanout workload once; returns throughput + health."""
+    from repro.obs import MetricsRegistry
+    from repro.trunk import TrunkGateway
+
+    # Depth/bounds sized so the whole talk window fits everywhere:
+    # the gate demands ZERO sheds, losses and late frames.
+    depth_seconds = (talk_ticks + 32) * BLOCK / RATE
+    line_buffer_seconds = (4 * talk_ticks + 300) * BLOCK / RATE
+    outbound_bound = calls * (talk_ticks + 8)
+
+    ex_a = TelephoneExchange(RATE)
+    ex_b = TelephoneExchange(RATE)
+    gw_b = TrunkGateway(ex_b, name="fan-b", metrics=MetricsRegistry(),
+                        outbound_bound=outbound_bound,
+                        jitter_depth_seconds=depth_seconds,
+                        batch_enabled=batch_enabled)
+    gw_b.listen("127.0.0.1", 0)
+    gw_b.start()
+    gw_a = TrunkGateway(ex_a, name="fan-a", metrics=MetricsRegistry(),
+                        outbound_bound=outbound_bound,
+                        jitter_depth_seconds=depth_seconds,
+                        batch_enabled=batch_enabled)
+    gw_a.add_route("9", "127.0.0.1", gw_b.port)
+    gw_a.start()
+
+    def pump_until(predicate, limit=6000):
+        for _ in range(limit):
+            if predicate():
+                return True
+            ex_a.tick(BLOCK)
+            ex_b.tick(BLOCK)
+            time.sleep(0.0005)
+        return predicate()
+
+    try:
+        assert gw_a.wait_connected(10.0), "fanout trunk never connected"
+        a_lines = [ex_a.add_line("8%03d" % k) for k in range(calls)]
+        b_lines = [ex_b.add_line("9%03d" % k) for k in range(calls)]
+        for line in b_lines:
+            line.max_buffer_seconds = line_buffer_seconds
+        for k, line in enumerate(a_lines):
+            line.off_hook()
+            line.dial("9%03d" % k)
+        assert pump_until(lambda: all(line.ringing for line in b_lines)), \
+            "not every fanout call rang"
+        for line in b_lines:
+            line.off_hook()
+        from repro.telephony import CallState
+
+        def all_connected():
+            return all(
+                (call := ex_a.call_for(line)) is not None
+                and call.state is CallState.CONNECTED
+                for line in a_lines)
+
+        assert pump_until(all_connected), "not every fanout call connected"
+
+        streams = [_call_stream(k) for k in range(calls)]
+        expected = [mulaw_decode(mulaw_encode(stream))
+                    for stream in streams]
+        assert all(np.all(want != 0) for want in expected)
+
+        total = calls * talk_ticks
+        started = time.perf_counter()
+        for _ in range(talk_ticks):
+            for line, stream in zip(a_lines, streams):
+                line.send_audio(stream)
+            ex_a.tick(BLOCK)
+            ex_b.tick(BLOCK)
+        # The wire transfer counts until B's gateway has ingested every
+        # bearer block (the reader thread may still be draining).
+        spins = 0
+        while gw_b._m_frames_in.value < total and spins < 20000:
+            ex_a.tick(BLOCK)
+            ex_b.tick(BLOCK)
+            spins += 1
+            time.sleep(0)
+        elapsed = time.perf_counter() - started
+        frames_per_sec = total / elapsed
+
+        # Unmeasured flush: drain every jitter buffer into the lines.
+        for _ in range(talk_ticks + 64):
+            ex_a.tick(BLOCK)
+            ex_b.tick(BLOCK)
+
+        sample_identical = True
+        for line, want in zip(b_lines, expected):
+            heard = line.receive_audio(line._buffered)
+            voiced = heard[heard != 0]
+            if not np.array_equal(voiced, np.tile(want, talk_ticks)):
+                sample_identical = False
+                break
+
+        a_link = gw_a.routes[0].link
+        b_link = gw_b._accepted[0]
+        stats = {
+            "frames_per_sec": frames_per_sec,
+            "bearer_blocks": int(gw_b._m_frames_in.value),
+            "sample_identical": bool(sample_identical),
+            "lost_frames": int(gw_b._m_lost.value),
+            "late_frames": int(gw_b._m_late.value),
+            "jitter_shed_samples": int(gw_b._m_jitter_shed.value),
+            "outbound_shed_frames": int(a_link.shed_audio_frames),
+            "underruns": int(gw_b._m_underruns.value),
+            "dropped_line_blocks": int(
+                ex_b.metrics.counter(
+                    "telephony.line.dropped_blocks").value),
+            "sendalls": int(a_link.sendalls),
+            "recvs": int(b_link.recvs),
+            "batch_frames": int(a_link.batch_frames_out),
+            "batch_entries": int(a_link.batch_entries_out),
+            "links_alive": bool(a_link.alive and b_link.alive),
+        }
+        return stats
+    finally:
+        gw_a.stop()
+        gw_b.stop()
+
+
+def _fanout_healthy(stats):
+    return (stats["sample_identical"] and stats["links_alive"]
+            and stats["lost_frames"] == 0 and stats["late_frames"] == 0
+            and stats["jitter_shed_samples"] == 0
+            and stats["outbound_shed_frames"] == 0)
+
+
+def test_trunk_fanout_fast_path(report):
+    calls, talk_ticks = FANOUT_CALLS, FANOUT_TALK_TICKS
+
+    per_frame = _measure_fanout(False, calls, talk_ticks)
+    batched = _measure_fanout(True, calls, talk_ticks)
+    speedup = batched["frames_per_sec"] / per_frame["frames_per_sec"]
+    if speedup < FANOUT_MIN_SPEEDUP:
+        # One re-measure guards against scheduler noise on a loaded box.
+        per_frame = _measure_fanout(False, calls, talk_ticks)
+        batched = _measure_fanout(True, calls, talk_ticks)
+        speedup = batched["frames_per_sec"] / per_frame["frames_per_sec"]
+
+    record_perf("trunk.fanout.per_frame", per_frame["frames_per_sec"],
+                sink="BENCH_TRUNK.json", calls=calls,
+                talk_ticks=talk_ticks, **per_frame)
+    record_perf("trunk.fanout.batched", batched["frames_per_sec"],
+                sink="BENCH_TRUNK.json", calls=calls,
+                talk_ticks=talk_ticks, **batched)
+    record_perf("trunk.fanout.speedup", speedup,
+                sink="BENCH_TRUNK.json", gate_min=FANOUT_MIN_SPEEDUP,
+                sample_identical=(batched["sample_identical"]
+                                  and per_frame["sample_identical"]),
+                zero_regressions=(_fanout_healthy(batched)
+                                  and _fanout_healthy(per_frame)))
+
+    report.row("E16", "per-frame bearer (oracle)",
+               "%.0f frames/s" % per_frame["frames_per_sec"],
+               "%d sendalls, %d recvs"
+               % (per_frame["sendalls"], per_frame["recvs"]))
+    report.row("E16", "batched bearer (AUDIO_BATCH)",
+               "%.0f frames/s" % batched["frames_per_sec"],
+               "%d sendalls, %d batches x ~%d calls"
+               % (batched["sendalls"], batched["batch_frames"],
+                  batched["batch_entries"]
+                  // max(1, batched["batch_frames"])))
+    report.row("E16", "bearer fast-path speedup",
+               "%.2fx" % speedup,
+               ">= %.1fx, sample-identical" % FANOUT_MIN_SPEEDUP)
+
+    # Health gates: every block arrived bit-exact in BOTH modes, with
+    # no loss, lateness or shedding anywhere in the pipeline.
+    for label, stats in (("per_frame", per_frame), ("batched", batched)):
+        assert stats["bearer_blocks"] == calls * talk_ticks, \
+            "%s: wire lost bearer blocks: %r" % (label, stats)
+        assert _fanout_healthy(stats), "%s: unhealthy: %r" % (label, stats)
+    assert batched["batch_frames"] > 0
+    assert per_frame["batch_frames"] == 0
+    assert speedup >= FANOUT_MIN_SPEEDUP, \
+        "batched bearer only %.2fx the per-frame oracle" % speedup

@@ -24,9 +24,18 @@ selector waits join the flagged set.  The shard loop blocks in
 ``select`` only lock-free; its ops queue is drained with the lock held
 for pointer swaps alone.
 
+Some code runs under a lock *implicitly*: the trunk gateway's tick is
+driven from inside the hub's block cycle with the topology lock already
+held, so there is no lexical ``with lock:`` to anchor on.  Files listed
+in ``IMPLICIT_LOCK_FILES`` are checked as if every function body held a
+lock, except the named functions that run on their own threads (route
+connectors, the accept loop, test helpers).  A ``sendall`` added to the
+gateway's tick path fails the lint even though no ``with`` is in sight.
+
 A line may opt out with an explicit ``# lock-ok: <reason>`` pragma --
 used for waits that are *bounded* and by design part of the cycle
-itself (the render barrier), never for open-ended peers.
+itself (the render barrier), or calls that merely look blocking (a
+queue-handoff method named ``send``), never for open-ended peers.
 
 Exit status is nonzero if any violation is found, so CI can gate on it.
 Queue handoffs (``put``, ``notify``) are deliberately fine -- the writer
@@ -64,6 +73,17 @@ _SRC = Path(__file__).resolve().parent.parent / "src/repro"
 #: block cycle under the topology lock.
 SCAN_DIRS = (_SRC / "server", _SRC / "trunk")
 
+#: src/repro-relative files whose functions run under a lock implicitly
+#: (no lexical ``with``), mapped to the functions that do NOT -- they
+#: run on their own threads.
+IMPLICIT_LOCK_FILES = {
+    "trunk/gateway.py": frozenset({
+        "_connect_route",   # short-lived connector thread
+        "_accept_loop",     # the listener's own thread
+        "wait_connected",   # wall-clock helper for tests/tools
+    }),
+}
+
 
 def _is_lock_expr(node: ast.expr) -> bool:
     """True for ``self.lock``, ``server.lock``, ``self._clients_lock``..."""
@@ -91,10 +111,15 @@ def _receiver_name(node: ast.expr) -> str:
 
 
 class LockDisciplineVisitor(ast.NodeVisitor):
-    def __init__(self, path: Path, source_lines: list[str]) -> None:
+    def __init__(self, path: Path, source_lines: list[str],
+                 implicit_exempt: frozenset | None = None) -> None:
         self.path = path
         self.source_lines = source_lines
         self.lock_depth = 0
+        #: Non-None makes every function body implicitly locked except
+        #: the named ones (IMPLICIT_LOCK_FILES rule).
+        self.implicit_exempt = implicit_exempt
+        self._function_depth = 0
         self.violations: list[tuple[Path, int, str]] = []
 
     def _exempted(self, node: ast.AST) -> bool:
@@ -135,19 +160,31 @@ class LockDisciplineVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     # Lock scope is per-function: a def nested inside a with-block runs
-    # later, on its own thread, not under the enclosing lock.
+    # later, on its own thread, not under the enclosing lock.  Under the
+    # implicit-lock rule, top-level (method) bodies instead START at
+    # depth 1 unless exempt; nested defs still run on their own threads.
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        saved, self.lock_depth = self.lock_depth, 0
+        saved = self.lock_depth
+        if (self.implicit_exempt is not None and self._function_depth == 0
+                and node.name not in self.implicit_exempt):
+            self.lock_depth = 1
+        else:
+            self.lock_depth = 0
+        self._function_depth += 1
         self.generic_visit(node)
+        self._function_depth -= 1
         self.lock_depth = saved
 
     visit_AsyncFunctionDef = visit_FunctionDef
 
 
-def check_file(path: Path) -> list[tuple[Path, int, str]]:
+def check_file(path: Path,
+               implicit_exempt: frozenset | None = None
+               ) -> list[tuple[Path, int, str]]:
     source = path.read_text()
     tree = ast.parse(source, filename=str(path))
-    visitor = LockDisciplineVisitor(path, source.splitlines())
+    visitor = LockDisciplineVisitor(path, source.splitlines(),
+                                    implicit_exempt=implicit_exempt)
     visitor.visit(tree)
     return visitor.violations
 
@@ -158,7 +195,9 @@ def main() -> int:
     root = _SRC.parent.parent
     for scan_dir in SCAN_DIRS:
         for path in sorted(scan_dir.rglob("*.py")):
-            violations.extend(check_file(path))
+            key = path.relative_to(_SRC).as_posix()
+            violations.extend(check_file(
+                path, implicit_exempt=IMPLICIT_LOCK_FILES.get(key)))
             checked += 1
     for path, line, reason in violations:
         print("%s:%d: %s" % (path.relative_to(root), line, reason))

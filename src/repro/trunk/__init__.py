@@ -20,16 +20,20 @@ from .gateway import (
 from .jitter import JitterBuffer
 from .link import TrunkLink
 from .wire import (
+    BATCH_MIN_MINOR,
+    FrameStream,
     FrameType,
     Handshake,
     TrunkFrame,
     TrunkProtocolError,
     decode_frame,
+    encode_audio_batch,
     read_frame,
 )
 
 __all__ = [
-    "FrameType", "Handshake", "InboundLeg", "JitterBuffer", "RemoteLine",
-    "TrunkFrame", "TrunkGateway", "TrunkLink", "TrunkProtocolError",
-    "TrunkRoute", "decode_frame", "parse_route", "read_frame",
+    "BATCH_MIN_MINOR", "FrameStream", "FrameType", "Handshake",
+    "InboundLeg", "JitterBuffer", "RemoteLine", "TrunkFrame",
+    "TrunkGateway", "TrunkLink", "TrunkProtocolError", "TrunkRoute",
+    "decode_frame", "encode_audio_batch", "parse_route", "read_frame",
 ]

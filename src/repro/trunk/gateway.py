@@ -40,7 +40,7 @@ import time
 import numpy as np
 
 from ..alib.connection import RetryPolicy
-from ..dsp.encodings import mulaw_decode, mulaw_encode
+from ..dsp.encodings import MULAW_DECODE_TABLE, mulaw_encode
 from ..obs import NULL_REGISTRY
 from ..protocol.wire import ConnectionClosed
 from ..telephony.line import HookState, Line
@@ -50,14 +50,19 @@ from .link import (
     DEFAULT_OUTBOUND_BOUND,
     TrunkLink,
 )
-from .wire import FrameType, Handshake, TrunkFrame, TrunkProtocolError, \
-    read_frame
+from .wire import BATCH_MIN_MINOR, TRUNK_MINOR, FrameType, Handshake, \
+    TrunkFrame, TrunkProtocolError, read_frame
 
 log = logging.getLogger(__name__)
 
 #: Cap on the exponential backoff exponent (RetryPolicy caps the delay
 #: itself; this just keeps ``multiplier ** attempt`` bounded).
 _MAX_BACKOFF_EXPONENT = 16
+
+#: Cadence (in ticks) of the per-leg gauge pass: jitter counter folds
+#: plus the depth/active gauges.  160 ms at the 20 ms block cycle --
+#: fresh enough for stats consumers, invisible to the bearer path.
+GAUGE_LEG_TICKS = 8
 
 
 def parse_route(text: str) -> tuple[str, str, int]:
@@ -119,7 +124,18 @@ class _TrunkLeg(Line):
     # -- exchange-facing audio/signaling overrides ----------------------------
 
     def deliver_audio(self, samples: np.ndarray) -> None:
-        """The local party spoke: relay the block as a bearer frame."""
+        """The local party spoke: relay the block as bearer audio.
+
+        On a batching link the block is *staged*: the gateway's tick
+        encodes every staged call's audio for this window in one table
+        take and ships it as a single AUDIO_BATCH.  Old-minor links get
+        the per-frame encode + AUDIO frame, exactly as before the batch
+        path existed.
+        """
+        link = self.link
+        if link is not None and link.alive and link.batching:
+            self.gateway.stage_audio(self, samples)
+            return
         payload = mulaw_encode(np.asarray(samples, dtype=np.int16))
         frame = TrunkFrame(FrameType.AUDIO, self.call_id,
                            seq=self._seq_out, payload=payload)
@@ -211,12 +227,19 @@ class TrunkGateway:
                  jitter_depth_seconds: float = 0.32,
                  jitter_prime_seconds: float = 0.04,
                  retry: RetryPolicy | None = None,
-                 connect_timeout: float = 2.0) -> None:
+                 connect_timeout: float = 2.0,
+                 batch_enabled: bool = True) -> None:
         self.exchange = exchange
         self.name = name or "trunk-gateway"
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.keepalive_interval = keepalive_interval
         self.outbound_bound = outbound_bound
+        #: Whether this gateway offers the AUDIO_BATCH fast path.  Off,
+        #: it announces minor 0 and every link runs the per-frame oracle
+        #: path -- the knob the E16 bench (and old-peer interop tests)
+        #: turn.
+        self.batch_enabled = batch_enabled
+        self.wire_minor = TRUNK_MINOR if batch_enabled else 0
         self.jitter_depth_seconds = jitter_depth_seconds
         self.jitter_prime_seconds = jitter_prime_seconds
         self.retry = retry or RetryPolicy(attempts=1, base_delay=0.05,
@@ -229,6 +252,10 @@ class TrunkGateway:
         #: link -> {call_id -> leg}; all mutation happens on the tick
         #: thread or under _state_lock.
         self._legs: dict[TrunkLink, dict[int, _TrunkLeg]] = {}
+        #: link -> [(call_id, seq, samples)] staged this flush window;
+        #: touched only on the tick thread (deliver_audio runs inside
+        #: the exchange's block cycle), so it needs no lock.
+        self._stage: dict[TrunkLink, list] = {}
         self._state_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
@@ -252,6 +279,13 @@ class TrunkGateway:
         self._m_underruns = m.counter("trunk.jitter.underruns")
         self._m_jitter_shed = m.counter("trunk.jitter.shed_samples")
         self._m_outbound_shed = m.counter("trunk.outbound.shed_audio_frames")
+        self._m_batch_out = m.counter("trunk.batch.frames_out")
+        self._m_batch_in = m.counter("trunk.batch.frames_in")
+        self._m_batch_entries_out = m.counter("trunk.batch.entries_out")
+        self._m_batch_entries_in = m.counter("trunk.batch.entries_in")
+        self._m_sendalls = m.counter("trunk.link.sendalls")
+        self._m_recvs = m.counter("trunk.link.recvs")
+        self._gauge_ticks = 0
         exchange.add_trunk_resolver(self)
         exchange.add_party(self)
 
@@ -383,11 +417,52 @@ class TrunkGateway:
     def send_on(self, link: TrunkLink | None, frame: TrunkFrame) -> None:
         if link is None or not link.alive:
             return
+        # lock-ok: TrunkLink.send is a bounded queue handoff, not socket I/O
         if link.send(frame):
             if frame.type is FrameType.AUDIO:
                 self._m_frames_out.inc()
             else:
                 self._m_signaling_out.inc()
+
+    def stage_audio(self, leg: _TrunkLeg, samples: np.ndarray) -> None:
+        """Queue one leg's block for this window's AUDIO_BATCH flush.
+
+        The sequence number is allocated here, at stage time, so bearer
+        ordering per call matches the order the exchange routed it.
+        Tick-thread only -- staging happens inside the block cycle.
+        """
+        seq = leg._seq_out
+        leg._seq_out += 1
+        self._stage.setdefault(leg.link, []).append(
+            (leg.call_id, seq, np.asarray(samples, dtype=np.int16)))
+
+    def _flush_staged(self) -> None:
+        """Encode and ship every link's staged audio (tick thread).
+
+        One ``np.concatenate`` + one mu-law table take covers every
+        staged call on a link; the batch entries are zero-copy views
+        into that single encode.
+        """
+        if not self._stage:
+            return
+        stage = self._stage
+        self._stage = {}
+        for link, entries in stage.items():
+            if not link.alive:
+                continue
+            blocks = [samples for _call_id, _seq, samples in entries]
+            pcm = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+            encoded = memoryview(mulaw_encode(pcm))
+            batch = []
+            position = 0
+            for call_id, seq, samples in entries:
+                length = len(samples)
+                batch.append((call_id, seq,
+                              encoded[position:position + length]))
+                position += length
+            accepted = link.send_batch(batch)
+            if accepted:
+                self._m_frames_out.inc(accepted)
 
     # -- the tick (runs inside the exchange's block cycle) --------------------
 
@@ -401,6 +476,10 @@ class TrunkGateway:
             while link.inbound:
                 self._handle_frame(link, link.inbound.popleft())
         self._pump_audio(frames)
+        # Everything local parties spoke this block cycle (plus transit
+        # audio the pump just routed leg-to-leg) goes out as one batch
+        # per link.
+        self._flush_staged()
         self._update_gauges()
 
     def _all_links(self) -> list[TrunkLink]:
@@ -457,7 +536,7 @@ class TrunkGateway:
                          daemon=True).start()
 
     def _connect_route(self, route: TrunkRoute) -> None:
-        local = Handshake(self.name,
+        local = Handshake(self.name, minor=self.wire_minor,
                           sample_rate=self.exchange.sample_rate)
         try:
             sock = socket.create_connection(
@@ -482,7 +561,9 @@ class TrunkGateway:
             return
         link = TrunkLink(sock, peer, initiated=True,
                          keepalive_interval=self.keepalive_interval,
-                         outbound_bound=self.outbound_bound).start()
+                         outbound_bound=self.outbound_bound,
+                         batching=(self.batch_enabled
+                                   and peer.minor >= BATCH_MIN_MINOR)).start()
         with self._state_lock:
             route.link = link
             route.connecting = False
@@ -508,7 +589,7 @@ class TrunkGateway:
     # -- accepting ------------------------------------------------------------
 
     def _accept_loop(self) -> None:
-        local = Handshake(self.name,
+        local = Handshake(self.name, minor=self.wire_minor,
                           sample_rate=self.exchange.sample_rate)
         while self._running:
             try:
@@ -531,9 +612,12 @@ class TrunkGateway:
                 except OSError:
                     pass
                 continue
-            link = TrunkLink(sock, peer, initiated=False,
-                             keepalive_interval=self.keepalive_interval,
-                             outbound_bound=self.outbound_bound).start()
+            link = TrunkLink(
+                sock, peer, initiated=False,
+                keepalive_interval=self.keepalive_interval,
+                outbound_bound=self.outbound_bound,
+                batching=(self.batch_enabled
+                          and peer.minor >= BATCH_MIN_MINOR)).start()
             with self._state_lock:
                 self._accepted.append(link)
 
@@ -548,7 +632,21 @@ class TrunkGateway:
             self._m_frames_in.inc()
             leg = self._leg_for(link, frame.call_id)
             if leg is not None:
-                leg.jitter.push(frame.seq, mulaw_decode(frame.payload))
+                # Raw bytes go straight into the ring; decode happens
+                # once per pop as a single table take.
+                leg.jitter.push(frame.seq, frame.payload)
+            return
+        if frame.type is FrameType.AUDIO_BATCH:
+            entries = frame.entries
+            self._m_frames_in.inc(len(entries))
+            self._m_batch_in.inc()
+            self._m_batch_entries_in.inc(len(entries))
+            with self._state_lock:
+                by_call = dict(self._legs.get(link, {}))
+            for call_id, seq, payload in entries:
+                leg = by_call.get(call_id)
+                if leg is not None:
+                    leg.jitter.push(seq, payload)
             return
         self._m_signaling_in.inc()
         if frame.type is FrameType.SETUP:
@@ -597,13 +695,33 @@ class TrunkGateway:
                     for leg in by_call.values()]
         from ..telephony.call import CallState
 
-        for leg in legs:
-            call = self.exchange.call_for(leg)
-            if call is None or call.state is not CallState.CONNECTED:
-                continue
-            block = leg.jitter.pop(frames)
-            self.exchange.route_audio(leg, block)
-            self._fold_leg_stats(leg)
+        # Legs with nothing buffered (never primed) are skipped outright
+        # -- routing explicit silence and routing nothing sound
+        # identical to the far side, and a 256-call link's quiet
+        # direction would otherwise pay the whole pump for zeros.
+        # Each entry pairs the leg with its (already state-checked) call
+        # so delivery below can go straight to the far party instead of
+        # re-resolving through exchange.route_audio.
+        voiced = [(leg, call) for leg in legs
+                  if leg.jitter.poppable()
+                  and (call := self.exchange.call_for(leg)) is not None
+                  and call.state is CallState.CONNECTED]
+        if not voiced:
+            return
+        if len(voiced) == 1:
+            leg, call = voiced[0]
+            call.other_party(leg).deliver_audio(leg.jitter.pop(frames))
+            return
+        # Vector path: assemble every leg's raw mu-law window, decode
+        # the lot in ONE table take, hand each leg its slice.  Each
+        # jitter buffer owns its pop scratch, so the gathered views stay
+        # valid until the join copies them.
+        raw = b"".join(leg.jitter.pop_raw(frames) for leg, _ in voiced)
+        decoded = np.take(MULAW_DECODE_TABLE,
+                          np.frombuffer(raw, dtype=np.uint8))
+        for index, (leg, call) in enumerate(voiced):
+            call.other_party(leg).deliver_audio(
+                decoded[index * frames:(index + 1) * frames])
 
     # -- metric folding -------------------------------------------------------
 
@@ -627,9 +745,23 @@ class TrunkGateway:
         self._m_links.set(len(links))
         for link in links:
             self._fold(link, "shed_audio_frames", self._m_outbound_shed)
+            self._fold(link, "sendalls", self._m_sendalls)
+            self._fold(link, "recvs", self._m_recvs)
+            self._fold(link, "batch_frames_out", self._m_batch_out)
+            self._fold(link, "batch_entries_out", self._m_batch_entries_out)
+        # The per-leg pass (jitter counter folds + depth/active gauges)
+        # walks every leg; at hundreds of calls per link that walk costs
+        # more than the bearer pump, so it runs every Nth tick.  Final
+        # values stay exact: deregister/release fold each leg on the way
+        # out.
+        self._gauge_ticks += 1
+        if (self._gauge_ticks - 1) % GAUGE_LEG_TICKS:
+            return
         with self._state_lock:
             legs = [leg for by_call in self._legs.values()
                     for leg in by_call.values()]
+        for leg in legs:
+            self._fold_leg_stats(leg)
         self._m_jitter_depth.set(
             sum(leg.jitter.depth_samples for leg in legs))
         self._m_active.set(len(legs))

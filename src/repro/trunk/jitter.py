@@ -15,6 +15,12 @@ The :class:`JitterBuffer` decouples the two clocks:
 * total buffered audio is bounded; overflow sheds the oldest samples so
   latency cannot grow without bound on a fast producer.
 
+The store is a contiguous ring of **raw mu-law bytes** (one byte per
+sample), so depth accounting is O(1) arithmetic, a push is a memcpy,
+and decoding happens once per pop as a single table ``np.take`` instead
+of per-block at push time.  Silence concealment is the mu-law code
+``0xFF``, which decodes to exactly sample 0.
+
 The buffer is single-consumer (the gateway's tick) but the producer is
 the link reader thread, so push/pop take one small lock.
 """
@@ -22,9 +28,14 @@ the link reader thread, so push/pop take one small lock.
 from __future__ import annotations
 
 import threading
-from collections import deque
 
 import numpy as np
+
+from ..dsp.encodings import MULAW_DECODE_TABLE
+
+#: The mu-law code for silence: decode(0xFF) == 0 exactly, so raw-byte
+#: concealment and decoded-sample concealment produce identical audio.
+MULAW_SILENCE = 0xFF
 
 
 class JitterBuffer:
@@ -44,11 +55,22 @@ class JitterBuffer:
         #: from before a reconnect may be missing entirely).
         self.reorder_window = reorder_window
         self._lock = threading.Lock()
-        self._pending: dict[int, np.ndarray] = {}
-        self._ready: deque[np.ndarray] = deque()
-        self._ready_samples = 0
+        #: Out-of-order raw blocks waiting for the gap ahead to fill.
+        self._pending: dict[int, bytes] = {}
+        self._pending_samples = 0
+        #: In-order raw mu-law ring: one byte per sample, so capacity in
+        #: bytes IS the depth bound in samples.
+        self._ring = bytearray(max_depth_samples)
+        self._head = 0
+        self._size = 0
         self._next_seq: int | None = None
         self._primed = False
+        # Reused pop assembly scratch + shared silence returns; consumers
+        # get either a view of these (never mutated) or a fresh decode.
+        self._scratch = bytearray(0)
+        self._silence_raw = b""
+        self._silence_pcm = np.zeros(0, dtype=np.int16)
+        self._silence_pcm.flags.writeable = False
         # Plain tallies; the gateway folds them into trunk.* metrics.
         self.late_frames = 0
         self.lost_frames = 0
@@ -57,23 +79,25 @@ class JitterBuffer:
 
     # -- producer side (link reader thread) -----------------------------------
 
-    def push(self, seq: int, samples: np.ndarray) -> None:
+    def push(self, seq: int, payload: bytes) -> None:
+        """Queue one block of raw mu-law bytes under its sequence."""
         with self._lock:
             if self._next_seq is None:
                 self._next_seq = seq
             if seq < self._next_seq:
                 self.late_frames += 1
                 return
-            self._pending[seq] = samples
+            block = bytes(payload)
+            self._pending[seq] = block
+            self._pending_samples += len(block)
             self._drain_pending()
-            self._shed_overflow()
 
     def _drain_pending(self) -> None:
-        """Move consecutive frames into the ready queue (lock held)."""
+        """Move consecutive frames into the ring (lock held)."""
         while self._next_seq in self._pending:
             block = self._pending.pop(self._next_seq)
-            self._ready.append(block)
-            self._ready_samples += len(block)
+            self._pending_samples -= len(block)
+            self._append(block)
             self._next_seq += 1
         # A gap with plenty of later audio behind it will never fill:
         # declare the missing frames lost and skip ahead.
@@ -84,45 +108,110 @@ class JitterBuffer:
             self._next_seq = skip_to
             while self._next_seq in self._pending:
                 block = self._pending.pop(self._next_seq)
-                self._ready.append(block)
-                self._ready_samples += len(block)
+                self._pending_samples -= len(block)
+                self._append(block)
                 self._next_seq += 1
 
-    def _shed_overflow(self) -> None:
-        while (self._ready_samples > self.max_depth_samples
-               and len(self._ready) > 1):
-            shed = self._ready.popleft()
-            self._ready_samples -= len(shed)
-            self.shed_samples += len(shed)
+    def _append(self, block: bytes) -> None:
+        """Copy a block into the ring, shedding oldest bytes on overflow
+        (lock held)."""
+        ring = self._ring
+        capacity = self.max_depth_samples
+        length = len(block)
+        if length >= capacity:
+            # Pathological single block past the whole depth bound: keep
+            # its newest ``capacity`` samples, count everything displaced
+            # (prior content plus the truncated prefix) as shed.
+            self.shed_samples += self._size + (length - capacity)
+            ring[0:capacity] = block[length - capacity:]
+            self._head = 0
+            self._size = capacity
+            return
+        overflow = self._size + length - capacity
+        if overflow > 0:
+            self._head = (self._head + overflow) % capacity
+            self._size -= overflow
+            self.shed_samples += overflow
+        tail = (self._head + self._size) % capacity
+        first = min(length, capacity - tail)
+        ring[tail:tail + first] = block[:first]
+        if first < length:
+            ring[0:length - first] = block[first:]
+        self._size += length
 
     # -- consumer side (gateway tick) -----------------------------------------
 
-    def pop(self, frames: int) -> np.ndarray:
-        """Exactly ``frames`` samples, silence-concealed on underrun."""
-        out = np.zeros(frames, dtype=np.int16)
+    def poppable(self) -> bool:
+        """Advisory: would :meth:`pop` yield audio (or a *real*
+        underrun) rather than pre-prime silence?
+
+        Lock-free by design -- two int reads under the GIL; at worst one
+        block stale, which costs one extra tick of priming delay.  The
+        gateway pump uses this to skip legs with nothing to say: a
+        skipped leg's listener hears the same silence either way
+        (``Line.receive_audio`` zero-pads an empty buffer).
+        """
+        return self._primed or self._size >= self.prime_samples
+
+    def pop_raw(self, frames: int) -> memoryview:
+        """Exactly ``frames`` raw mu-law bytes, 0xFF-concealed.
+
+        Returns a view of a buffer this JitterBuffer owns and reuses on
+        the next pop: callers must consume (or copy) it before popping
+        again.  The gateway's vectorized pump decodes all legs' views in
+        one ``np.take`` within the same tick, so reuse is safe there.
+        """
+        taken = 0
         with self._lock:
             if not self._primed:
-                if self._ready_samples < self.prime_samples:
-                    return out
+                if self._size < self.prime_samples:
+                    return self._silence_raw_view(frames)
                 self._primed = True
-            filled = 0
-            while filled < frames and self._ready:
-                block = self._ready[0]
-                take = min(len(block), frames - filled)
-                out[filled:filled + take] = block[:take]
-                if take == len(block):
-                    self._ready.popleft()
-                else:
-                    self._ready[0] = block[take:]
-                self._ready_samples -= take
-                filled += take
-            if filled < frames:
+            taken = min(frames, self._size)
+            scratch = self._scratch
+            if len(scratch) < frames:
+                scratch = self._scratch = bytearray(frames)
+            head = self._head
+            capacity = self.max_depth_samples
+            first = min(taken, capacity - head)
+            scratch[0:first] = self._ring[head:head + first]
+            if first < taken:
+                scratch[first:taken] = self._ring[0:taken - first]
+            self._head = (head + taken) % capacity
+            self._size -= taken
+            if taken < frames:
                 self.underruns += 1
                 self._primed = False
-        return out
+        if taken < frames:
+            scratch[taken:frames] = bytes([MULAW_SILENCE]) * (frames - taken)
+        return memoryview(scratch)[:frames]
+
+    def pop(self, frames: int) -> np.ndarray:
+        """Exactly ``frames`` decoded samples, silence-concealed.
+
+        Pure silence returns a shared read-only zeros view (no
+        allocation); real audio is decoded fresh in one table take, so
+        callers may keep the array as long as they like.
+        """
+        raw = self.pop_raw(frames)
+        if raw.obj is self._silence_raw:
+            return self._silence_pcm_view(frames)
+        return np.take(MULAW_DECODE_TABLE,
+                       np.frombuffer(raw, dtype=np.uint8))
+
+    def _silence_raw_view(self, frames: int) -> memoryview:
+        if len(self._silence_raw) < frames:
+            self._silence_raw = bytes([MULAW_SILENCE]) * frames
+        return memoryview(self._silence_raw)[:frames]
+
+    def _silence_pcm_view(self, frames: int) -> np.ndarray:
+        if len(self._silence_pcm) < frames:
+            silence = np.zeros(frames, dtype=np.int16)
+            silence.flags.writeable = False
+            self._silence_pcm = silence
+        return self._silence_pcm[:frames]
 
     @property
     def depth_samples(self) -> int:
         with self._lock:
-            return self._ready_samples + sum(
-                len(block) for block in self._pending.values())
+            return self._size + self._pending_samples

@@ -5,8 +5,17 @@ A :class:`TrunkLink` owns an already-handshaken socket and two threads:
 * the **reader** parses frames off the wire into an inbound deque that
   the gateway drains from the exchange tick (signaling and bearer are
   applied under the exchange's clock, never from the socket thread);
-* the **writer** drains an outbound queue into ``sendall`` and emits
-  PING keepalives when the queue idles.
+  frames arrive through a buffered incremental
+  :class:`~repro.trunk.wire.FrameStream`, so a frame costs amortized
+  ~0 syscalls instead of the old two blocking ``recv``\\ s;
+* the **writer** drains the outbound queue in *sweeps* -- one blocking
+  ``get`` plus a ``get_nowait`` run -- encodes the whole sweep into one
+  reused buffer (consecutive bearer frames collapse into a single
+  ``AUDIO_BATCH`` when the peer negotiated it), and emits one
+  ``sendall`` per sweep.  It falls back to the exact pre-batch
+  frame-per-``sendall`` loop for old-minor peers, which keeps that path
+  alive as the equivalence oracle.  PING keepalives go out when the
+  queue idles.
 
 The gateway's tick thread runs inside the audio block cycle, under the
 server's topology lock -- so the link never does socket I/O on behalf of
@@ -26,8 +35,16 @@ import time
 from collections import deque
 
 from ..protocol.wire import ConnectionClosed, set_nodelay
-from .wire import FrameType, Handshake, TrunkFrame, TrunkProtocolError, \
-    read_frame
+from .wire import (
+    BATCH_MIN_MINOR,
+    FrameStream,
+    FrameType,
+    Handshake,
+    TrunkFrame,
+    TrunkProtocolError,
+    encode_audio_batch_into,
+    read_frame,
+)
 
 log = logging.getLogger(__name__)
 
@@ -42,6 +59,13 @@ DEFAULT_KEEPALIVE_INTERVAL = 1.0
 #: Missed-keepalive multiple after which the gateway calls a link dead.
 KEEPALIVE_TIMEOUT_FACTOR = 3.0
 
+#: Upper bound on frames drained per writer sweep; keeps one sweep's
+#: encode buffer (and the latency of whatever queued behind it) bounded.
+MAX_WRITE_SWEEP = 512
+
+#: Keepalive bytes, prebuilt once (token 0 is fine for liveness).
+_PING_BYTES = TrunkFrame(FrameType.PING).encode()
+
 
 class TrunkLink:
     """A handshaken trunk connection being pumped in both directions."""
@@ -49,7 +73,8 @@ class TrunkLink:
     def __init__(self, sock: socket.socket, peer: Handshake, *,
                  initiated: bool, name: str = "",
                  keepalive_interval: float = DEFAULT_KEEPALIVE_INTERVAL,
-                 outbound_bound: int = DEFAULT_OUTBOUND_BOUND) -> None:
+                 outbound_bound: int = DEFAULT_OUTBOUND_BOUND,
+                 batching: bool | None = None) -> None:
         self.sock = sock
         self.peer = peer
         #: True when this endpoint opened the TCP connection; initiators
@@ -60,6 +85,11 @@ class TrunkLink:
         self.keepalive_timeout = (KEEPALIVE_TIMEOUT_FACTOR
                                   * keepalive_interval)
         self.outbound_bound = outbound_bound
+        #: Negotiated at handshake: both ends must speak minor >= 1 for
+        #: AUDIO_BATCH; an old-minor peer gets per-frame AUDIO through
+        #: the pre-batch writer loop, byte-compatible with PR 5.
+        self.batching = (peer.minor >= BATCH_MIN_MINOR if batching is None
+                         else batching)
         self.alive = True
         self.last_rx = time.monotonic()
         # Initiators allocate odd call ids, acceptors even, so calls
@@ -72,8 +102,12 @@ class TrunkLink:
         self.frames_out = 0
         self.shed_audio_frames = 0
         self.keepalives_sent = 0
+        self.sendalls = 0           # syscalls spent writing
+        self.recvs = 0              # syscalls spent reading
+        self.batch_frames_out = 0   # AUDIO_BATCH frames emitted
+        self.batch_entries_out = 0  # bearer payloads packed into them
         self._outbound: queue.Queue = queue.Queue()
-        self._audio_queued = 0      # AUDIO frames currently enqueued
+        self._audio_queued = 0      # bearer payloads currently enqueued
         self._counts_lock = threading.Lock()
         self._close_lock = threading.Lock()
         set_nodelay(sock)
@@ -104,7 +138,10 @@ class TrunkLink:
         Bearer frames past the outbound bound are shed oldest-intent
         first (we drop the *new* frame -- concealment on the far side
         covers the gap); signaling frames are always queued, because a
-        lost RELEASE would leak a call on the peer.
+        lost RELEASE would leak a call on the peer.  The shed check, the
+        tally bump and the enqueue happen under one lock so the decision
+        cannot interleave with the writer's drain-time decrement
+        (``Queue.put`` on an unbounded queue never blocks).
         """
         if not self.alive:
             return False
@@ -114,8 +151,38 @@ class TrunkLink:
                     self.shed_audio_frames += 1
                     return False
                 self._audio_queued += 1
+                self._outbound.put(frame)
+            return True
         self._outbound.put(frame)
         return True
+
+    def send_batch(self, entries) -> int:
+        """Queue one flush window's bearer payloads; entries accepted.
+
+        ``entries`` are ``(call_id, seq, mulaw_payload)`` tuples.  The
+        batch is all-or-nothing against the outbound bound: a saturated
+        queue sheds the whole window (the far side conceals one block of
+        every call) rather than an arbitrary prefix of it.
+        """
+        if not self.alive or not entries:
+            return 0
+        count = len(entries)
+        if not self.batching:
+            # Old-minor peer: fall back to per-frame bearer.
+            accepted = 0
+            for call_id, seq, payload in entries:
+                if self.send(TrunkFrame(FrameType.AUDIO, call_id, seq=seq,
+                                        payload=bytes(payload))):
+                    accepted += 1
+            return accepted
+        with self._counts_lock:
+            if self._audio_queued + count > self.outbound_bound:
+                self.shed_audio_frames += count
+                return 0
+            self._audio_queued += count
+            self._outbound.put(TrunkFrame(FrameType.AUDIO_BATCH,
+                                          entries=tuple(entries)))
+        return count
 
     def stale(self, now: float | None = None) -> bool:
         """Has the peer gone silent past the keepalive deadline?"""
@@ -125,17 +192,28 @@ class TrunkLink:
     # -- pump threads ---------------------------------------------------------
 
     def _read_loop(self) -> None:
+        stream = FrameStream(self.sock) if self.batching else None
         try:
             while self.alive:
-                frame = read_frame(self.sock)
+                if stream is not None:
+                    frames = stream.read_frames()
+                    self.recvs = stream.recvs
+                else:
+                    # Old-minor oracle path: two blocking recvs a frame,
+                    # exactly the pre-batch reader.
+                    frames = (read_frame(self.sock),)
+                    self.recvs += 2
                 self.last_rx = time.monotonic()
-                self.frames_in += 1
-                if frame.type is FrameType.PING:
-                    self.send(TrunkFrame(FrameType.PONG, token=frame.token))
-                    continue
-                if frame.type is FrameType.PONG:
-                    continue
-                self.inbound.append(frame)
+                self.frames_in += len(frames)
+                for frame in frames:
+                    frame_type = frame.type
+                    if frame_type is FrameType.PING:
+                        self.send(TrunkFrame(FrameType.PONG,
+                                             token=frame.token))
+                    elif frame_type is FrameType.PONG:
+                        pass
+                    else:
+                        self.inbound.append(frame)
         except (ConnectionClosed, OSError):
             pass
         except TrunkProtocolError as exc:
@@ -145,6 +223,10 @@ class TrunkLink:
             self.close()
 
     def _write_loop(self) -> None:
+        if not self.batching:
+            self._write_loop_per_frame()
+            return
+        out = bytearray()
         try:
             while self.alive:
                 try:
@@ -152,8 +234,100 @@ class TrunkLink:
                         timeout=self.keepalive_interval)
                 except queue.Empty:
                     self.keepalives_sent += 1
-                    self.sock.sendall(
-                        TrunkFrame(FrameType.PING).encode())
+                    self.sock.sendall(_PING_BYTES)
+                    self.sendalls += 1
+                    continue
+                if frame is None:
+                    break
+                # Sweep: drain whatever queued behind the first frame so
+                # the whole backlog goes out in one write.
+                sweep = [frame]
+                stop = False
+                while len(sweep) < MAX_WRITE_SWEEP:
+                    try:
+                        extra = self._outbound.get_nowait()
+                    except queue.Empty:
+                        break
+                    if extra is None:
+                        stop = True
+                        break
+                    sweep.append(extra)
+                audio_blocks = 0
+                for swept in sweep:
+                    if swept.type is FrameType.AUDIO:
+                        audio_blocks += 1
+                    elif swept.type is FrameType.AUDIO_BATCH:
+                        audio_blocks += len(swept.entries)
+                if audio_blocks:
+                    with self._counts_lock:
+                        self._audio_queued -= audio_blocks
+                del out[:]
+                self.frames_out += self._encode_sweep(sweep, out)
+                self.sock.sendall(out)
+                self.sendalls += 1
+                if stop:
+                    break
+        except OSError:
+            pass
+        finally:
+            self.close()
+
+    def _encode_sweep(self, sweep: list[TrunkFrame],
+                      out: bytearray) -> int:
+        """Encode a sweep, collapsing bearer runs into AUDIO_BATCH.
+
+        Frame order is preserved: signaling flushes the current bearer
+        run before being written, so RELEASE never overtakes the audio
+        queued ahead of it.  Returns the number of wire frames emitted.
+        """
+        run: list = []
+        wire_frames = 0
+        for frame in sweep:
+            frame_type = frame.type
+            if frame_type is FrameType.AUDIO:
+                run.append((frame.call_id, frame.seq, frame.payload))
+            elif frame_type is FrameType.AUDIO_BATCH:
+                run.extend(frame.entries)
+            else:
+                wire_frames += self._flush_run(run, out)
+                frame.encode_into(out)
+                wire_frames += 1
+        wire_frames += self._flush_run(run, out)
+        return wire_frames
+
+    def _flush_run(self, run: list, out: bytearray) -> int:
+        if not run:
+            return 0
+        if len(run) == 1:
+            # A lone block rides a plain AUDIO frame (4 header bytes
+            # cheaper, and it keeps the per-frame decoder exercised
+            # between new peers too).
+            call_id, seq, payload = run[0]
+            TrunkFrame(FrameType.AUDIO, call_id, seq=seq,
+                       payload=payload).encode_into(out)
+        else:
+            encode_audio_batch_into(out, run)
+            self.batch_frames_out += 1
+            self.batch_entries_out += len(run)
+        run.clear()
+        return 1
+
+    def _write_loop_per_frame(self) -> None:
+        """The pre-batch writer: one encode + one sendall per frame.
+
+        Old-minor peers get exactly this loop, which doubles as the
+        equivalence oracle the E16 bench measures the batched path
+        against.
+        """
+        try:
+            while self.alive:
+                try:
+                    frame = self._outbound.get(
+                        timeout=self.keepalive_interval)
+                except queue.Empty:
+                    self.keepalives_sent += 1
+                    self.sock.sendall(_PING_BYTES)
+                    self.sendalls += 1
                     continue
                 if frame is None:
                     break
@@ -161,6 +335,7 @@ class TrunkLink:
                     with self._counts_lock:
                         self._audio_queued -= 1
                 self.sock.sendall(frame.encode())
+                self.sendalls += 1
                 self.frames_out += 1
         except OSError:
             pass

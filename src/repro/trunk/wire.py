@@ -20,10 +20,20 @@ while reading a packet capture:
     AUDIO     := u32 call_id  u32 seq  blob mulaw_payload
     PING      := u32 token
     PONG      := u32 token
+    AUDIO_BATCH := u32 count
+                   count * (u32 call_id  u32 seq  blob mulaw_payload)
 
 Call ids are allocated by the endpoint that *originates* the call; the
 endpoint that initiated the TCP connection uses odd ids and the acceptor
 even ids, so simultaneous calls in both directions can never collide.
+
+``AUDIO_BATCH`` (minor version 1) is the bearer-plane fast path: one
+flush window's worth of *every* call's audio packed into a single
+length-prefixed frame, so a 256-call link costs one frame (and one
+``sendall``) per window instead of 256.  The batch is negotiated at
+handshake time -- a peer announcing ``minor < 1`` keeps receiving plain
+per-frame ``AUDIO``, which stays both the compatibility path and the
+equivalence oracle for the batched one.
 
 Marshalling reuses the :class:`~repro.protocol.wire.Writer` /
 :class:`~repro.protocol.wire.Reader` primitives of the client protocol
@@ -39,19 +49,34 @@ import socket
 import struct
 from dataclasses import dataclass
 
-from ..protocol.wire import Reader, WireFormatError, Writer, recv_exact
+from ..protocol.wire import ConnectionClosed, Reader, WireFormatError, \
+    Writer, recv_exact
 
 #: First bytes on the wire, both directions.
 TRUNK_MAGIC = b"RTRK"
 TRUNK_MAJOR = 1
-TRUNK_MINOR = 0
+TRUNK_MINOR = 1
+
+#: Lowest minor version whose speaker understands AUDIO_BATCH frames.
+BATCH_MIN_MINOR = 1
 
 #: Upper bound on one frame's encoded size; anything bigger is a
-#: protocol violation (an AUDIO block at 8 kHz is ~160 bytes).
+#: protocol violation (an AUDIO block at 8 kHz is ~160 bytes, and a
+#: 256-call AUDIO_BATCH stays well under 64 KiB).
 MAX_FRAME_BYTES = 1 << 20
+
+#: Upper bound on payloads packed into one AUDIO_BATCH; a corrupted
+#: count field must not drive an unbounded allocation loop.
+MAX_BATCH_ENTRIES = 4096
 
 _LENGTH = struct.Struct("<I")
 _HANDSHAKE_HEAD = struct.Struct("<4sHHI")
+
+# Prebound structs for the hot bearer encoders (PR 2 style): the whole
+# frame header in one pack instead of a Writer's append-per-field.
+_AUDIO_HEAD = struct.Struct("<IBIII")      # length  type  call_id  seq  len
+_BATCH_HEAD = struct.Struct("<IBI")        # length  type  count
+_ENTRY_HEAD = struct.Struct("<III")        # call_id  seq  len
 
 
 class TrunkProtocolError(Exception):
@@ -67,6 +92,7 @@ class FrameType(enum.IntEnum):
     AUDIO = 6
     PING = 7
     PONG = 8
+    AUDIO_BATCH = 9
 
 
 #: Frame types that carry call signaling (everything but bearer/keepalive).
@@ -90,8 +116,22 @@ class TrunkFrame:
     seq: int = 0
     payload: bytes = b""
     token: int = 0
+    #: AUDIO_BATCH only: ``(call_id, seq, mulaw_payload)`` per call.
+    entries: tuple = ()
 
     def encode(self) -> bytes:
+        if self.type is FrameType.AUDIO:
+            # Bearer fast path: one preallocated buffer, one prebound
+            # header pack -- no Writer object, no chunk concatenation.
+            payload = self.payload
+            buffer = bytearray(_AUDIO_HEAD.size + len(payload))
+            _AUDIO_HEAD.pack_into(buffer, 0, 13 + len(payload),
+                                  int(FrameType.AUDIO), self.call_id,
+                                  self.seq, len(payload))
+            buffer[_AUDIO_HEAD.size:] = payload
+            return bytes(buffer)
+        if self.type is FrameType.AUDIO_BATCH:
+            return bytes(encode_audio_batch(self.entries))
         writer = Writer()
         writer.u8(int(self.type))
         if self.type in (FrameType.PING, FrameType.PONG):
@@ -106,11 +146,56 @@ class TrunkFrame:
                 writer.string(self.reason)
             elif self.type is FrameType.DTMF:
                 writer.string(self.digits)
-            elif self.type is FrameType.AUDIO:
-                writer.u32(self.seq)
-                writer.blob(self.payload)
         body = writer.getvalue()
         return _LENGTH.pack(len(body)) + body
+
+    def encode_into(self, out: bytearray) -> None:
+        """Append this frame's wire bytes to a reused sweep buffer."""
+        if self.type is FrameType.AUDIO:
+            payload = self.payload
+            out += _AUDIO_HEAD.pack(13 + len(payload),
+                                    int(FrameType.AUDIO), self.call_id,
+                                    self.seq, len(payload))
+            out += payload
+        elif self.type is FrameType.AUDIO_BATCH:
+            encode_audio_batch_into(out, self.entries)
+        else:
+            out += self.encode()
+
+
+def encode_audio_batch(entries) -> bytearray:
+    """One AUDIO_BATCH frame packing every entry's bearer payload.
+
+    Encodes into a single exactly-sized preallocated ``bytearray`` with
+    prebound structs: one allocation per flush window, however many
+    calls ride it.  Entries are ``(call_id, seq, payload)`` where the
+    payload is any bytes-like mu-law block.
+    """
+    size = _BATCH_HEAD.size
+    for _call_id, _seq, payload in entries:
+        size += _ENTRY_HEAD.size + len(payload)
+    buffer = bytearray(size)
+    _BATCH_HEAD.pack_into(buffer, 0, size - _LENGTH.size,
+                          int(FrameType.AUDIO_BATCH), len(entries))
+    pos = _BATCH_HEAD.size
+    for call_id, seq, payload in entries:
+        length = len(payload)
+        _ENTRY_HEAD.pack_into(buffer, pos, call_id, seq, length)
+        pos += _ENTRY_HEAD.size
+        buffer[pos:pos + length] = payload
+        pos += length
+    return buffer
+
+
+def encode_audio_batch_into(out: bytearray, entries) -> None:
+    """Append one AUDIO_BATCH frame to a reused sweep buffer."""
+    size = 5    # u8 type + u32 count
+    for _call_id, _seq, payload in entries:
+        size += _ENTRY_HEAD.size + len(payload)
+    out += _BATCH_HEAD.pack(size, int(FrameType.AUDIO_BATCH), len(entries))
+    for call_id, seq, payload in entries:
+        out += _ENTRY_HEAD.pack(call_id, seq, len(payload))
+        out += payload
 
 
 def decode_frame(body: bytes) -> TrunkFrame:
@@ -124,6 +209,17 @@ def decode_frame(body: bytes) -> TrunkFrame:
             raise TrunkProtocolError("unknown frame type %d" % raw_type)
         if frame_type in (FrameType.PING, FrameType.PONG):
             frame = TrunkFrame(frame_type, token=reader.u32())
+        elif frame_type is FrameType.AUDIO_BATCH:
+            count = reader.u32()
+            if count > MAX_BATCH_ENTRIES:
+                raise TrunkProtocolError(
+                    "AUDIO_BATCH of %d entries too large" % count)
+            entries = []
+            for _ in range(count):
+                entry_call = reader.u32()
+                entry_seq = reader.u32()
+                entries.append((entry_call, entry_seq, reader.blob()))
+            frame = TrunkFrame(frame_type, entries=tuple(entries))
         else:
             call_id = reader.u32()
             if frame_type is FrameType.SETUP:
@@ -149,11 +245,71 @@ def decode_frame(body: bytes) -> TrunkFrame:
 
 
 def read_frame(sock: socket.socket) -> TrunkFrame:
-    """Read one length-prefixed frame from a socket (blocking)."""
+    """Read one length-prefixed frame from a socket (blocking).
+
+    Two syscalls per frame -- the pre-batch reader, kept as the old-peer
+    compatibility path and the equivalence oracle for
+    :class:`FrameStream`.
+    """
     (length,) = _LENGTH.unpack(recv_exact(sock, _LENGTH.size))
     if length == 0 or length > MAX_FRAME_BYTES:
         raise TrunkProtocolError("bad frame length %d" % length)
     return decode_frame(recv_exact(sock, length))
+
+
+class FrameStream:
+    """Buffered incremental trunk framer: amortized ~0 syscalls/frame.
+
+    The same move :meth:`~repro.protocol.wire.MessageStream.read_available`
+    makes for the client protocol, applied to the trunk: one large
+    ``recv`` lands however many frames the peer's last flush carried,
+    they are parsed out of the buffer in one pass, and a frame torn
+    across TCP segments stays buffered until a later read completes it.
+    Byte-for-byte equivalent to looping :func:`read_frame` however the
+    stream is split (tests/test_protocol_fuzz.py proves the property).
+    """
+
+    __slots__ = ("sock", "recvs", "_buffer")
+
+    #: One recv's worth; comfortably bigger than the largest flush
+    #: window a 256-call link emits per 20 ms tick.
+    RECV_BYTES = 1 << 16
+
+    def __init__(self, sock) -> None:
+        self.sock = sock
+        self.recvs = 0          # syscall tally, folded into trunk.link.*
+        self._buffer = bytearray()
+
+    def read_frames(self, limit: int = 1024) -> list[TrunkFrame]:
+        """At least one frame (blocking), plus everything already here."""
+        frames = self._drain(limit)
+        while not frames:
+            chunk = self.sock.recv(self.RECV_BYTES)
+            self.recvs += 1
+            if not chunk:
+                raise ConnectionClosed("peer closed the trunk link")
+            self._buffer += chunk
+            frames = self._drain(limit)
+        return frames
+
+    def _drain(self, limit: int) -> list[TrunkFrame]:
+        buffer = self._buffer
+        size = len(buffer)
+        pos = 0
+        frames: list[TrunkFrame] = []
+        while len(frames) < limit and size - pos >= _LENGTH.size:
+            (length,) = _LENGTH.unpack_from(buffer, pos)
+            if length == 0 or length > MAX_FRAME_BYTES:
+                raise TrunkProtocolError("bad frame length %d" % length)
+            body_start = pos + _LENGTH.size
+            if size - body_start < length:
+                break
+            frames.append(decode_frame(
+                bytes(buffer[body_start:body_start + length])))
+            pos = body_start + length
+        if pos:
+            del buffer[:pos]
+        return frames
 
 
 @dataclass(frozen=True)

@@ -110,3 +110,59 @@ def test_outside_lock_is_fine(tmp_path):
             self.sock.sendall(b"x")
     """)
     assert violations == []
+
+
+def _check_implicit(tmp_path, source, exempt=frozenset()):
+    path = tmp_path / "module.py"
+    path.write_text(textwrap.dedent(source))
+    return [(line, reason) for _path, line, reason
+            in lint.check_file(path, implicit_exempt=exempt)]
+
+
+def test_implicit_lock_rule_flags_bare_sendall(tmp_path):
+    # No lexical ``with lock:`` anywhere -- the implicit rule treats the
+    # whole function body as locked (the gateway tick path).
+    violations = _check_implicit(tmp_path, """\
+        def tick(self, frames):
+            self.sock.sendall(b"x")
+    """)
+    assert [reason for _line, reason in violations] == [
+        "socket .sendall() under a lock"]
+
+
+def test_implicit_lock_rule_exempts_named_threads(tmp_path):
+    violations = _check_implicit(tmp_path, """\
+        def _connect_route(self, route):
+            self.sock.sendall(b"handshake")
+
+        def tick(self, frames):
+            self.inbound.popleft()
+    """, exempt=frozenset({"_connect_route"}))
+    assert violations == []
+
+
+def test_implicit_lock_rule_skips_nested_thread_targets(tmp_path):
+    # A def nested inside a method runs on its own thread later; the
+    # implicit rule must not leak into it.
+    violations = _check_implicit(tmp_path, """\
+        def tick(self, frames):
+            def worker():
+                self.sock.sendall(b"x")
+            return worker
+    """)
+    assert violations == []
+
+
+def test_implicit_lock_rule_honours_pragma(tmp_path):
+    violations = _check_implicit(tmp_path, """\
+        def send_on(self, link, frame):
+            # lock-ok: queue handoff, not socket I/O
+            link.send(frame)
+    """)
+    assert violations == []
+
+
+def test_gateway_is_registered_for_the_implicit_rule():
+    assert "trunk/gateway.py" in lint.IMPLICIT_LOCK_FILES
+    exempt = lint.IMPLICIT_LOCK_FILES["trunk/gateway.py"]
+    assert {"_connect_route", "_accept_loop"} <= set(exempt)

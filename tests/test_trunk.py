@@ -17,6 +17,7 @@ from repro.dsp.dtmf import DtmfDetector
 from repro.dsp.encodings import mulaw_decode, mulaw_encode
 from repro.telephony import CallState, TelephoneExchange
 from repro.trunk import (
+    FrameStream,
     FrameType,
     Handshake,
     JitterBuffer,
@@ -61,6 +62,49 @@ class TestWireFormat:
         for frame_type in (FrameType.PING, FrameType.PONG):
             frame = TrunkFrame(frame_type, token=123456)
             assert self.roundtrip(frame) == frame
+
+    def test_audio_batch_roundtrip(self):
+        entries = tuple(
+            (call_id, seq,
+             mulaw_encode(np.full(BLOCK, call_id * 311, dtype=np.int16)))
+            for call_id, seq in ((1, 5), (2, 9), (7, 0)))
+        frame = TrunkFrame(FrameType.AUDIO_BATCH, entries=entries)
+        assert self.roundtrip(frame) == frame
+
+    def test_audio_batch_empty_payloads_roundtrip(self):
+        frame = TrunkFrame(FrameType.AUDIO_BATCH,
+                           entries=((3, 1, b""), (4, 2, b"")))
+        assert self.roundtrip(frame) == frame
+
+    def test_audio_batch_rejects_absurd_count(self):
+        body = (bytes([int(FrameType.AUDIO_BATCH)])
+                + (1 << 31).to_bytes(4, "little"))
+        with pytest.raises(TrunkProtocolError):
+            decode_frame(body)
+
+    def test_frame_stream_reassembles_across_reads(self):
+        left, right = socket.socketpair()
+        try:
+            frames = [
+                TrunkFrame(FrameType.ALERTING, 11),
+                TrunkFrame(FrameType.AUDIO, 5, seq=1, payload=b"abc"),
+                TrunkFrame(FrameType.AUDIO_BATCH,
+                           entries=((1, 2, b"xy"), (3, 4, b"z"))),
+                TrunkFrame(FrameType.RELEASE, 5, reason="done"),
+            ]
+            blob = b"".join(frame.encode() for frame in frames)
+            # Dribble the stream in awkward slices; the framer must
+            # reassemble exactly the original frames regardless.
+            for start in range(0, len(blob), 7):
+                left.sendall(blob[start:start + 7])
+            stream = FrameStream(right)
+            got = []
+            while len(got) < len(frames):
+                got.extend(stream.read_frames())
+            assert got == frames
+        finally:
+            left.close()
+            right.close()
 
     def test_unknown_type_rejected(self):
         with pytest.raises(TrunkProtocolError):
@@ -124,6 +168,11 @@ class TestHandshake:
         theirs = Handshake("b", sample_rate=16000)
         assert "sample rate" in ours.compatible_with(theirs)
 
+    def test_minor_version_mismatch_tolerated(self):
+        # Minors negotiate features (AUDIO_BATCH); they never refuse.
+        ours = Handshake("a", minor=1)
+        assert ours.compatible_with(Handshake("b", minor=0)) is None
+
 
 class TestParseRoute:
     def test_parse(self):
@@ -136,78 +185,101 @@ class TestParseRoute:
 
 
 class TestJitterBuffer:
-    def _block(self, value, frames=BLOCK):
-        return np.full(frames, value, dtype=np.int16)
+    """The buffer stores raw mu-law bytes; pushes are encoded payloads
+    and pops compare against the exact mu-law roundtrip."""
+
+    def _payload(self, value, frames=BLOCK):
+        return mulaw_encode(np.full(frames, value * 1000, dtype=np.int16))
+
+    def _decoded(self, value, frames=BLOCK):
+        return mulaw_decode(self._payload(value, frames))
 
     def test_in_order_passthrough_after_priming(self):
         jb = JitterBuffer(prime_samples=BLOCK)
-        jb.push(0, self._block(1))
+        jb.push(0, self._payload(1))
         out = jb.pop(BLOCK)
-        assert np.all(out == 1)
+        assert np.array_equal(out, self._decoded(1))
         assert jb.underruns == 0
+
+    def test_pop_raw_returns_exact_bytes(self):
+        jb = JitterBuffer(prime_samples=BLOCK)
+        payload = self._payload(7)
+        jb.push(0, payload)
+        assert bytes(jb.pop_raw(BLOCK)) == payload
 
     def test_unprimed_pop_is_silent_without_underrun(self):
         jb = JitterBuffer(prime_samples=2 * BLOCK)
-        jb.push(0, self._block(1))
+        jb.push(0, self._payload(1))
         assert np.all(jb.pop(BLOCK) == 0)   # still priming
         assert jb.underruns == 0
 
     def test_underrun_counts_and_reprimes(self):
         jb = JitterBuffer(prime_samples=BLOCK)
-        jb.push(0, self._block(1))
+        jb.push(0, self._payload(1))
         jb.pop(BLOCK)
         jb.pop(BLOCK)                        # nothing left: underrun? no --
         # an empty primed buffer returning pure silence is an underrun
         assert jb.underruns == 1
         # one block is no longer enough until re-primed
-        jb.push(1, self._block(2, BLOCK // 2))
+        jb.push(1, self._payload(2, BLOCK // 2))
         assert np.all(jb.pop(BLOCK) == 0)
 
     def test_late_frames_dropped(self):
         jb = JitterBuffer(prime_samples=0)
-        jb.push(5, self._block(1))
+        jb.push(5, self._payload(1))
         jb.pop(BLOCK)
-        jb.push(3, self._block(9))           # from before the stream head
+        jb.push(3, self._payload(9))         # from before the stream head
         assert jb.late_frames == 1
         assert jb.depth_samples == 0
 
     def test_gap_concealed_and_counted_lost(self):
         jb = JitterBuffer(prime_samples=0, reorder_window=2)
-        jb.push(0, self._block(1))
-        jb.push(2, self._block(3))           # seq 1 missing
-        jb.push(3, self._block(4))           # window full: declare 1 lost
+        jb.push(0, self._payload(1))
+        jb.push(2, self._payload(3))         # seq 1 missing
+        jb.push(3, self._payload(4))         # window full: declare 1 lost
         assert jb.lost_frames == 1
-        assert np.all(jb.pop(BLOCK) == 1)
-        assert np.all(jb.pop(BLOCK) == 3)
-        assert np.all(jb.pop(BLOCK) == 4)
+        assert np.array_equal(jb.pop(BLOCK), self._decoded(1))
+        assert np.array_equal(jb.pop(BLOCK), self._decoded(3))
+        assert np.array_equal(jb.pop(BLOCK), self._decoded(4))
 
     def test_depth_bounded_sheds_oldest(self):
         jb = JitterBuffer(max_depth_samples=4 * BLOCK, prime_samples=0)
         for seq in range(10):
-            jb.push(seq, self._block(seq))
+            jb.push(seq, self._payload(seq + 1))
         assert jb.depth_samples <= 4 * BLOCK
         assert jb.shed_samples == 6 * BLOCK
-        # The oldest surviving audio is block 6.
-        assert np.all(jb.pop(BLOCK) == 6)
+        # The oldest surviving audio is block 7 (seq 6).
+        assert np.array_equal(jb.pop(BLOCK), self._decoded(7))
+
+    def test_depth_is_constant_time_bookkeeping(self):
+        jb = JitterBuffer(prime_samples=0, reorder_window=8)
+        jb.push(0, self._payload(1))
+        jb.push(3, self._payload(4))         # pending behind the gap
+        assert jb.depth_samples == 2 * BLOCK
+        jb.pop(BLOCK)
+        assert jb.depth_samples == BLOCK
 
 
 class TwoExchanges:
     """Two exchanges federated A->B over a real TCP trunk."""
 
-    def __init__(self, route_prefix="2", listen=True):
+    def __init__(self, route_prefix="2", listen=True,
+                 batch_a=True, batch_b=True):
         from repro.obs import MetricsRegistry
 
         self.ex_a = TelephoneExchange(RATE)
         self.ex_b = TelephoneExchange(RATE)
         self.gw_b = TrunkGateway(self.ex_b, name="B",
                                  metrics=MetricsRegistry(),
-                                 keepalive_interval=0.1)
+                                 keepalive_interval=0.1,
+                                 batch_enabled=batch_b)
         if listen:
             self.gw_b.listen("127.0.0.1", 0)
         self.gw_b.start()
         self.gw_a = TrunkGateway(self.ex_a, name="A",
                                  metrics=MetricsRegistry(),
-                                 keepalive_interval=0.1)
+                                 keepalive_interval=0.1,
+                                 batch_enabled=batch_a)
         if listen:
             self.gw_a.add_route(route_prefix, "127.0.0.1", self.gw_b.port)
         self.gw_a.start()
@@ -501,6 +573,88 @@ class TestTrunkSupervision:
             and pair.ex_a.call_for(a1).state is CallState.CONNECTED
             and pair.ex_b.call_for(b2) is not None
             and pair.ex_b.call_for(b2).state is CallState.CONNECTED)
+
+    def test_batch_fallback_interop_old_minor_peer(self):
+        """New-minor <-> old-minor peers fall back to per-frame AUDIO.
+
+        Run both orientations (old acceptor, then old initiator): the
+        call connects, audio flows both ways sample-identically, and no
+        AUDIO_BATCH frame ever crosses the wire.
+        """
+        for batch_a, batch_b in ((True, False), (False, True)):
+            pair = TwoExchanges(batch_a=batch_a, batch_b=batch_b)
+            try:
+                assert pair.gw_a.wait_connected(5.0)
+                assert pair.pump_until(lambda: pair.gw_b._accepted)
+                initiator = pair.gw_a.routes[0].link
+                acceptor = pair.gw_b._accepted[0]
+                # The old end announces minor 0, so neither side batches.
+                assert not initiator.batching
+                assert not acceptor.batching
+
+                alice = pair.ex_a.add_line("100")
+                bob = pair.ex_b.add_line("200")
+                a_events = _listener(alice)
+                alice.off_hook()
+                alice.dial("200")
+                assert pair.pump_until(lambda: bob.ringing)
+                bob.off_hook()
+                assert pair.pump_until(lambda: a_events["answered"])
+
+                sent_a = np.arange(1, BLOCK + 1, dtype=np.int16) * 41
+                sent_b = np.arange(1, BLOCK + 1, dtype=np.int16) * -59
+                heard_b, heard_a = [], []
+                for _ in range(12):
+                    alice.send_audio(sent_a)
+                    bob.send_audio(sent_b)
+                    pair.pump()
+                for _ in range(80):
+                    pair.pump()
+                    for line, sink in ((bob, heard_b), (alice, heard_a)):
+                        block = line.receive_audio(BLOCK)
+                        if np.any(block):
+                            sink.append(block)
+                    if len(heard_b) >= 3 and len(heard_a) >= 3:
+                        break
+                expect_b = mulaw_decode(mulaw_encode(sent_a))
+                expect_a = mulaw_decode(mulaw_encode(sent_b))
+                assert any(np.array_equal(h, expect_b) for h in heard_b)
+                assert any(np.array_equal(h, expect_a) for h in heard_a)
+
+                assert initiator.batch_frames_out == 0
+                assert acceptor.batch_frames_out == 0
+            finally:
+                pair.stop()
+
+    def test_new_minor_peers_negotiate_batching(self, pair):
+        assert pair.pump_until(lambda: pair.gw_b._accepted)
+        initiator = pair.gw_a.routes[0].link
+        acceptor = pair.gw_b._accepted[0]
+        assert initiator.batching and acceptor.batching
+        assert initiator.peer.minor >= 1
+        # Two concurrent calls guarantee multi-entry flush windows, so
+        # bearer actually rides AUDIO_BATCH frames.
+        a1, a2 = pair.ex_a.add_line("100"), pair.ex_a.add_line("101")
+        b1, b2 = pair.ex_b.add_line("200"), pair.ex_b.add_line("201")
+        a1.off_hook()
+        a1.dial("200")
+        a2.off_hook()
+        a2.dial("201")
+        assert pair.pump_until(lambda: b1.ringing and b2.ringing)
+        b1.off_hook()
+        b2.off_hook()
+        assert pair.pump_until(
+            lambda: pair.ex_a.call_for(a1) is not None
+            and pair.ex_a.call_for(a1).state is CallState.CONNECTED
+            and pair.ex_a.call_for(a2) is not None
+            and pair.ex_a.call_for(a2).state is CallState.CONNECTED)
+        tone = np.full(BLOCK, 4000, dtype=np.int16)
+        for _ in range(20):
+            a1.send_audio(tone)
+            a2.send_audio(tone)
+            pair.pump()
+        assert initiator.batch_frames_out > 0
+        assert initiator.batch_entries_out >= 2 * initiator.batch_frames_out
 
     def test_version_mismatch_refused_at_accept(self, pair):
         # Dial B's trunk listener with a bad major version; the
