@@ -82,6 +82,18 @@ IMPLICIT_LOCK_FILES = {
         "_accept_loop",     # the listener's own thread
         "wait_connected",   # wall-clock helper for tests/tools
     }),
+    # The mesh route table mutates only on the gateway's tick, so every
+    # function is implicitly under the topology lock -- and none may do
+    # socket I/O at all (it is plain data).
+    "trunk/routing.py": frozenset(),
+    # Discovery does real socket I/O, but only on its own threads; the
+    # gateway's tick merely reads snapshots.
+    "trunk/discovery.py": frozenset({
+        "_serve_loop",      # the registry's accept/serve thread
+        "_handle",          # one request, handled on that same thread
+        "_poll_loop",       # the discovery client's timer thread
+        "poll_once",        # one round trip, poll thread (and tests)
+    }),
 }
 
 

@@ -13,6 +13,7 @@ same operator tools.  Subcommands:
     dial NUMBER                place a call (hangs up when done)
     monitor [SECONDS]          print device-LOUD events as they happen
     stats                      the server's metrics snapshot
+    routes                     the trunk mesh: peers and route table
 
 Usage:  repro-audio-control [--host H] [--port N] <subcommand> ...
 """
@@ -62,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats")
     stats.add_argument("--histograms", action="store_true",
                        help="include latency histogram buckets")
+    commands.add_parser("routes")
     return parser
 
 
@@ -234,6 +236,35 @@ def cmd_stats(client: AudioClient, args, out) -> int:
     return 0
 
 
+def cmd_routes(client: AudioClient, args, out) -> int:
+    mesh = client.server_stats().mesh
+    if not mesh:
+        print("mesh routing not enabled", file=out)
+        return 1
+    print("node:          %s (max hops %d, advert seq %d)"
+          % (mesh["node"], mesh["max_hops"], mesh["advert_seq"]), file=out)
+    if mesh.get("serving_registry"):
+        print("registry:      serving on %s" % mesh["serving_registry"],
+              file=out)
+    elif mesh.get("registry"):
+        print("registry:      %s" % mesh["registry"], file=out)
+    print("local:         %s" % (", ".join(mesh["local_prefixes"]) or "-"),
+          file=out)
+    for peer in mesh["peers"]:
+        print("  peer %-12s %-21s %-8s prefixes=%s"
+              % (peer["name"], peer["endpoint"],
+                 "linked" if peer["linked"] else "unlinked",
+                 ",".join(peer["prefixes"]) or "-"), file=out)
+    for row in mesh["routes"]:
+        print("  route %-8s -> %-12s hops=%d seq=%d origin=%s%s"
+              % (row["prefix"], row["next_hop"], row["hops"], row["seq"],
+                 row["origin"], "" if row["live"] else "  (dead link)"),
+              file=out)
+    if not mesh["routes"]:
+        print("  (no remote routes learned)", file=out)
+    return 0
+
+
 _HANDLERS = {
     "info": cmd_info,
     "devices": cmd_devices,
@@ -245,6 +276,7 @@ _HANDLERS = {
     "dial": cmd_dial,
     "monitor": cmd_monitor,
     "stats": cmd_stats,
+    "routes": cmd_routes,
 }
 
 

@@ -18,6 +18,7 @@ Conventions:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from .attributes import AttributeList
@@ -1164,6 +1165,12 @@ class GetServerStatsReply(Reply):
     gauges: dict[str, float]
     histograms: dict[str, HistogramStat]
     clients: list[ClientStat]
+    #: The trunk mesh section (peers, route table); empty when mesh
+    #: routing is off.  Nested and shape-free, so it rides the wire as
+    #: one JSON string -- client and server ship together, and the
+    #: structure is documented in docs/TELEPHONY.md rather than frozen
+    #: into the binary format.
+    mesh: dict = field(default_factory=dict)
 
     def write_payload(self, writer: Writer) -> None:
         writer.f64(self.uptime_seconds)
@@ -1183,6 +1190,7 @@ class GetServerStatsReply(Reply):
         writer.u32(len(self.clients))
         for client in self.clients:
             client.write(writer)
+        writer.string(json.dumps(self.mesh) if self.mesh else "")
 
     @classmethod
     def read_payload(cls, reader: Reader) -> "GetServerStatsReply":
@@ -1201,8 +1209,10 @@ class GetServerStatsReply(Reply):
             name = reader.string()
             histograms[name] = HistogramStat.read(reader)
         clients = [ClientStat.read(reader) for _ in range(reader.u32())]
+        encoded_mesh = reader.string()
+        mesh = json.loads(encoded_mesh) if encoded_mesh else {}
         return cls(uptime_seconds, sample_time, counters, gauges, histograms,
-                   clients)
+                   clients, mesh)
 
     def counter(self, name: str) -> int:
         """Convenience lookup; absent counters read as zero."""

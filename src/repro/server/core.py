@@ -85,7 +85,11 @@ class AudioServer:
                  io_shards: int | None = None,
                  trunk_listen: tuple[str, int] | None = None,
                  trunk_routes: list[tuple[str, str, int]] | None = None,
-                 trunk_name: str = "") -> None:
+                 trunk_name: str = "",
+                 mesh_registry: tuple[str, int] | None = None,
+                 mesh_join: tuple[str, int] | None = None,
+                 mesh_prefixes: list[str] | None = None,
+                 mesh_neighbors: list[str] | None = None) -> None:
         self.hub = hub or AudioHub(config, realtime=realtime)
         #: Graceful-degradation knobs (docs/RELIABILITY.md): per-client
         #: outbound queue bound, and how long one socket write may block
@@ -210,7 +214,8 @@ class AudioServer:
         #: or a trunk listener are configured; its tick runs as an
         #: exchange party inside the hub's block cycle.
         self.trunk: TrunkGateway | None = None
-        if trunk_listen is not None or trunk_routes:
+        mesh = mesh_registry is not None or mesh_join is not None
+        if trunk_listen is not None or trunk_routes or mesh:
             self.trunk = TrunkGateway(
                 exchange, name=trunk_name or ("%s:%d" % (host, port)),
                 metrics=metrics)
@@ -218,6 +223,15 @@ class AudioServer:
                 self.trunk.listen(*trunk_listen)
             for prefix, route_host, route_port in (trunk_routes or []):
                 self.trunk.add_route(prefix, route_host, route_port)
+            if mesh:
+                # Join (and optionally serve) the dynamic routing mesh;
+                # static --trunk-route entries stay as overrides.
+                self.trunk.enable_mesh(
+                    registry=mesh_join,
+                    serve_registry=mesh_registry,
+                    prefixes=tuple(mesh_prefixes or ()),
+                    neighbors=(frozenset(mesh_neighbors)
+                               if mesh_neighbors else None))
         # The whole hub block cycle runs under the server lock so that
         # exchange and device callbacks are serialized against dispatch.
         self.hub.external_lock = self.lock
@@ -632,5 +646,6 @@ class AudioServer:
                     for route in self.trunk.routes],
                 "buffered_audio_samples":
                     self.trunk.buffered_audio_samples(),
+                "mesh": self.trunk.mesh_snapshot(),
             }
         return snapshot

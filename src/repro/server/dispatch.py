@@ -554,7 +554,8 @@ class Dispatcher:
                 rq.ClientStat(entry["name"], entry["requests"],
                               entry["bytes_in"], entry["bytes_out"],
                               entry["messages_out"], entry["queue_depth"])
-                for entry in snapshot["clients"]])
+                for entry in snapshot["clients"]],
+            mesh=snapshot.get("trunk", {}).get("mesh", {}))
         client.send_reply(reply, client.sequence)
 
     def _no_operation(self, client, request: rq.NoOperation) -> None:

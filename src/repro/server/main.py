@@ -13,6 +13,9 @@ Usage::
                        [--trunk-listen [HOST:]PORT]
                        [--trunk-route PREFIX=HOST:PORT]...
                        [--trunk-name NAME]
+                       [--mesh-registry [HOST:]PORT]
+                       [--mesh-join HOST:PORT]
+                       [--mesh-prefix PREFIX]... [--mesh-neighbor NAME]...
 
 SIGUSR1 dumps a stats snapshot to stderr at any time; one more snapshot
 is dumped at shutdown.
@@ -21,6 +24,14 @@ Trunking (docs/TELEPHONY.md): ``--trunk-listen`` accepts trunk
 connections from peer servers; each ``--trunk-route`` homes a number
 prefix at a peer, so local clients can dial numbers that live on other
 servers' exchanges.
+
+Mesh routing (docs/TELEPHONY.md, "Mesh routing"): ``--mesh-registry``
+serves the fleet's discovery registry from this node; ``--mesh-join``
+points at a registry served elsewhere.  Either one joins the mesh:
+peers are discovered and linked automatically, each ``--mesh-prefix``
+is advertised fleet-wide as homed here, and calls to prefixes owned
+further away are tandem-switched through intermediate nodes.  Static
+``--trunk-route`` entries stay as overrides.
 """
 
 from __future__ import annotations
@@ -102,7 +113,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "peer server's trunk listener (repeatable)")
     parser.add_argument("--trunk-name", default="",
                         help="name announced in the trunk handshake "
-                             "(default host:port)")
+                             "(default host:port; must be fleet-unique "
+                             "when joining a mesh)")
+    parser.add_argument("--mesh-registry", default=None,
+                        metavar="[HOST:]PORT",
+                        help="serve the mesh discovery registry on this "
+                             "address (and join the mesh through it)")
+    parser.add_argument("--mesh-join", default=None, metavar="HOST:PORT",
+                        help="join the mesh via a registry served by "
+                             "another node")
+    parser.add_argument("--mesh-prefix", action="append", default=[],
+                        metavar="PREFIX", dest="mesh_prefixes",
+                        help="number prefix this exchange originates, "
+                             "advertised fleet-wide (repeatable)")
+    parser.add_argument("--mesh-neighbor", action="append", default=[],
+                        metavar="NAME", dest="mesh_neighbors",
+                        help="only initiate trunk links to these peers "
+                             "(repeatable; default: link to every "
+                             "discovered peer)")
     return parser
 
 
@@ -134,12 +162,26 @@ def main(argv: list[str] | None = None) -> int:
                          io_shards=args.io_shards,
                          trunk_listen=trunk_listen,
                          trunk_routes=trunk_routes,
-                         trunk_name=args.trunk_name)
+                         trunk_name=args.trunk_name,
+                         mesh_registry=(
+                             parse_trunk_listen(args.mesh_registry)
+                             if args.mesh_registry is not None else None),
+                         mesh_join=(
+                             parse_trunk_listen(args.mesh_join)
+                             if args.mesh_join is not None else None),
+                         mesh_prefixes=args.mesh_prefixes,
+                         mesh_neighbors=args.mesh_neighbors)
     server.start()
     print("audio server listening on %s:%d" % (server.host, server.port))
     if server.trunk is not None and server.trunk.port is not None:
         print("trunk listening on %s:%d"
               % (server.trunk.host, server.trunk.port))
+    if server.trunk is not None and server.trunk.mesh_enabled:
+        registry = server.trunk._registry
+        if registry is not None:
+            print("mesh registry serving on %s:%d"
+                  % (registry.host, registry.port))
+        print("mesh routing enabled (node %r)" % server.trunk.name)
     stats = StatsLogger(server, interval=args.stats_interval)
     stats.start()
     stop = threading.Event()

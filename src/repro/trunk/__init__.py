@@ -7,11 +7,23 @@ numbers to peer gateways, signaling (SETUP/ALERTING/ANSWER/RELEASE/DTMF)
 and sequence-numbered mu-law bearer audio travel a compact
 length-prefixed wire format, and remote calls surface locally as
 Line-compatible endpoints so every exchange semantic works unchanged.
-See docs/TELEPHONY.md for the model and failure semantics.
+
+The mesh plane (minor 2) removes the hand-wiring: gateways find each
+other through a :class:`MeshRegistry`, learn the fleet's numbering plan
+from ROUTE_ADVERT frames into a :class:`RouteTable`, and tandem-switch
+calls across intermediate nodes.  See docs/TELEPHONY.md for the model
+and failure semantics.
 """
 
+from .discovery import (
+    MeshDiscovery,
+    MeshRegistry,
+    PeerRecord,
+    RegistryProtocolError,
+)
 from .gateway import (
     InboundLeg,
+    MeshPeer,
     RemoteLine,
     TrunkGateway,
     TrunkRoute,
@@ -19,8 +31,11 @@ from .gateway import (
 )
 from .jitter import JitterBuffer
 from .link import TrunkLink
+from .routing import DEFAULT_MAX_HOPS, RouteTable
 from .wire import (
     BATCH_MIN_MINOR,
+    MESH_MIN_MINOR,
+    UNREACHABLE_HOPS,
     FrameStream,
     FrameType,
     Handshake,
@@ -32,8 +47,11 @@ from .wire import (
 )
 
 __all__ = [
-    "BATCH_MIN_MINOR", "FrameStream", "FrameType", "Handshake",
-    "InboundLeg", "JitterBuffer", "RemoteLine", "TrunkFrame",
+    "BATCH_MIN_MINOR", "DEFAULT_MAX_HOPS", "FrameStream", "FrameType",
+    "Handshake", "InboundLeg", "JitterBuffer", "MESH_MIN_MINOR",
+    "MeshDiscovery", "MeshPeer", "MeshRegistry", "PeerRecord",
+    "RegistryProtocolError", "RemoteLine", "RouteTable", "TrunkFrame",
     "TrunkGateway", "TrunkLink", "TrunkProtocolError", "TrunkRoute",
-    "decode_frame", "encode_audio_batch", "parse_route", "read_frame",
+    "UNREACHABLE_HOPS", "decode_frame", "encode_audio_batch",
+    "parse_route", "read_frame",
 ]

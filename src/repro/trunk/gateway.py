@@ -14,7 +14,7 @@ treatment, no-answer timers, forwarding, caller ID, hangup supervision
   a SETUP frame dials the local number exactly as a local line would,
   and local signaling (answered, busy, hangup) flows back as frames.
 
-Routing is a static longest-prefix table (``--trunk-route
+Routing starts from a static longest-prefix table (``--trunk-route
 PREFIX=host:port``): numbers no local line owns are matched against the
 table when dialed or forwarded.  Each route owns at most one link,
 reconnected after loss with the Alib
@@ -22,6 +22,18 @@ reconnected after loss with the Alib
 short-lived connector threads; the tick never blocks).  Bearer audio is
 carried as sequence-numbered mu-law frames through a per-call
 :class:`~repro.trunk.jitter.JitterBuffer` on the receiving side.
+
+:meth:`TrunkGateway.enable_mesh` adds the dynamic routing plane on top
+(docs/TELEPHONY.md, "Mesh routing"): peers are discovered through a
+registry (``trunk/discovery.py``) instead of being wired by hand,
+reachability propagates as ROUTE_ADVERT frames into a per-gateway
+:class:`~repro.trunk.routing.RouteTable`, and calls for a prefix owned
+two hops away are *tandem switched* -- the inbound leg is bridged to a
+fresh outbound leg over another trunk, with the SETUP2 ``via`` trail
+refusing loops, a hop-count ceiling, and dial-time failover to the
+next-best route when the preferred next hop is down or refuses.  Static
+routes stay as an override: a static prefix at least as specific as the
+best mesh match dials first, with mesh paths as backup.
 
 All signaling and bearer handling runs in :meth:`tick`, which the
 exchange drives inside the audio block cycle -- link reader threads only
@@ -44,20 +56,36 @@ from ..dsp.encodings import MULAW_DECODE_TABLE, mulaw_encode
 from ..obs import NULL_REGISTRY
 from ..protocol.wire import ConnectionClosed
 from ..telephony.line import HookState, Line
+from .discovery import (
+    DEFAULT_POLL_INTERVAL,
+    DEFAULT_REGISTRY_TTL,
+    MeshDiscovery,
+    MeshRegistry,
+    PeerRecord,
+)
 from .jitter import JitterBuffer
 from .link import (
     DEFAULT_KEEPALIVE_INTERVAL,
     DEFAULT_OUTBOUND_BOUND,
     TrunkLink,
 )
-from .wire import BATCH_MIN_MINOR, TRUNK_MINOR, FrameType, Handshake, \
-    TrunkFrame, TrunkProtocolError, read_frame
+from .routing import DEFAULT_MAX_HOPS, RouteTable
+from .wire import BATCH_MIN_MINOR, MAX_ADVERT_ENTRIES, MESH_MIN_MINOR, \
+    TRUNK_MINOR, UNREACHABLE_HOPS, FrameType, Handshake, TrunkFrame, \
+    TrunkProtocolError, read_frame
 
 log = logging.getLogger(__name__)
 
 #: Cap on the exponential backoff exponent (RetryPolicy caps the delay
 #: itself; this just keeps ``multiplier ** attempt`` bounded).
 _MAX_BACKOFF_EXPONENT = 16
+
+#: RELEASE reasons that mean "this *path* failed", not "the callee
+#: declined": a still-ringing outbound leg retries its next candidate
+#: route instead of failing the call.
+RETRYABLE_RELEASES = frozenset({
+    "trunk down", "routing loop", "max hops exceeded",
+})
 
 #: Cadence (in ticks) of the per-leg gauge pass: jitter counter folds
 #: plus the depth/active gauges.  160 ms at the 20 ms block cycle --
@@ -92,6 +120,58 @@ class TrunkRoute:
         if link is not None and link.alive:
             return link
         return None
+
+
+class MeshPeer:
+    """One discovered gateway and (at most) the link we initiate to it.
+
+    Duck-types :class:`TrunkRoute`'s connection-state surface (host,
+    port, link, backoff fields) so the gateway's connector machinery
+    drives both; the address comes from the peer's latest registry
+    record rather than a static flag.
+    """
+
+    def __init__(self, record: PeerRecord) -> None:
+        self.record = record
+        self.link: TrunkLink | None = None
+        self.connecting = False
+        self.attempt = 0
+        self.next_attempt_at = 0.0
+        self.ever_connected = False
+
+    @property
+    def name(self) -> str:
+        return self.record.name
+
+    @property
+    def host(self) -> str:
+        return self.record.host
+
+    @property
+    def port(self) -> int:
+        return self.record.port
+
+    @property
+    def prefix(self) -> str:
+        # Label used by the shared connector logging/thread naming.
+        return "mesh:%s" % self.record.name
+
+    def live_link(self) -> TrunkLink | None:
+        link = self.link
+        if link is not None and link.alive:
+            return link
+        return None
+
+
+class _AdvertState:
+    """What one link has been told about the route table so far."""
+
+    __slots__ = ("version", "sent")
+
+    def __init__(self) -> None:
+        self.version = -1
+        #: (prefix, origin) -> (hops, seq) as last advertised.
+        self.sent: dict = {}
 
 
 class _TrunkLeg(Line):
@@ -148,25 +228,98 @@ class _TrunkLeg(Line):
 
 
 class RemoteLine(_TrunkLeg):
-    """Outbound leg: the remote *callee* as seen by the local exchange."""
+    """Outbound leg: the remote *callee* as seen by the local exchange.
+
+    The leg carries an ordered list of candidate links (best route
+    first).  Ringing dials the first live one; a path failure -- the
+    link dying mid-dial, or the next hop releasing with a retryable
+    reason like ``routing loop`` or ``trunk down`` -- fails over to the
+    next candidate before the call itself is failed.
+    """
+
+    def __init__(self, number: str, exchange, gateway: "TrunkGateway",
+                 link: TrunkLink | None, call_id: int, *,
+                 candidates=()) -> None:
+        super().__init__(number, exchange, gateway, link, call_id)
+        self._candidates: list[TrunkLink] = list(candidates)
+        self._via: tuple = ()
+        self._hops = 0
+        self._tandem = False
+        self._upstream_link: TrunkLink | None = None
+        self._attempted = False
 
     def start_ringing(self, caller_info) -> None:
         self.ringing = True
         self.caller_info = caller_info
-        if self.link is None or not self.link.alive:
-            # The route is down right now: fail the call instead of
-            # ringing into the void.  The call is already registered, so
-            # the release path works synchronously from inside dial().
+        call = self.exchange.call_for(self)
+        upstream = call.caller if call is not None else None
+        if isinstance(upstream, InboundLeg):
+            # Tandem switch: the caller is itself a trunk leg, so this
+            # dial continues a path.  Inherit the loop-prevention trail
+            # and never route back out the trunk the call came in on.
+            self._via = upstream.via
+            self._hops = upstream.hops + 1
+            self._upstream_link = upstream.link
+            self._tandem = True
+        if not self._dial_next():
+            # No live candidate: fail the call instead of ringing into
+            # the void.  The call is already registered, so the release
+            # path works synchronously from inside dial().
             self.ringing = False
             self.released = True
             self.gateway.deregister_leg(self)
             self.exchange.remote_released(self, "trunk down")
             return
-        self.gateway.register_outbound(self)
-        self._send(TrunkFrame(
-            FrameType.SETUP, self.call_id, number=self.number,
-            caller_id=caller_info.number,
-            forwarded_from=caller_info.forwarded_from or ""))
+        if self._tandem:
+            self.gateway._m_tandem.inc()
+
+    def _dial_next(self) -> bool:
+        """Send SETUP down the next viable candidate; False when none
+        is left (dead links and via-listed next hops are skipped)."""
+        while self._candidates:
+            link = self._candidates.pop(0)
+            if not link.alive or link.name in self._via:
+                continue
+            if link is self._upstream_link:
+                continue
+            first = not self._attempted
+            self._attempted = True
+            self.link = link
+            self.call_id = link.allocate_call_id()
+            self.gateway.register_outbound(self, first=first)
+            self._send_setup(link)
+            return True
+        return False
+
+    def _send_setup(self, link: TrunkLink) -> None:
+        info = self.caller_info
+        if link.mesh and self.gateway.mesh_enabled:
+            self._send(TrunkFrame(
+                FrameType.SETUP2, self.call_id, number=self.number,
+                caller_id=info.number,
+                forwarded_from=info.forwarded_from or "",
+                hops=self._hops,
+                via=self._via + (self.gateway.name,)))
+        else:
+            self._send(TrunkFrame(
+                FrameType.SETUP, self.call_id, number=self.number,
+                caller_id=info.number,
+                forwarded_from=info.forwarded_from or ""))
+
+    def failover(self, reason: str) -> bool:
+        """Mid-dial path failure: retry the next-best route.
+
+        Only a still-ringing leg fails over (an answered call's path
+        death is a real mid-call drop), and only for path-shaped
+        reasons -- busy or no-such-number came from the destination
+        itself and must not be retried elsewhere.
+        """
+        if not self.ringing or reason not in RETRYABLE_RELEASES:
+            return False
+        if not self._dial_next():
+            return False
+        self.gateway._m_failovers.inc()
+        return True
 
     def stop_ringing(self) -> None:
         """The caller abandoned (or a timer fired) while we alerted."""
@@ -186,6 +339,8 @@ class RemoteLine(_TrunkLeg):
         self.exchange.line_off_hook(self)
 
     def remote_released(self, reason: str) -> None:
+        if self.failover(reason):
+            return
         self.ringing = False
         self.released = True
         self.exchange.remote_released(self, reason or "released")
@@ -198,6 +353,11 @@ class InboundLeg(_TrunkLeg):
                  link: TrunkLink, call_id: int) -> None:
         super().__init__(number, exchange, gateway, link, call_id)
         self.hook = HookState.OFF_HOOK    # the remote caller is off hook
+        #: Tandem context from SETUP2 (empty/zero for plain SETUP): the
+        #: gateways this call has already left, and how many trunk hops
+        #: it has crossed.  A tandem dial onward inherits both.
+        self.via: tuple = ()
+        self.hops = 0
 
     def far_end_answered(self) -> None:
         self._send(TrunkFrame(FrameType.ANSWER, self.call_id))
@@ -249,6 +409,18 @@ class TrunkGateway:
         self.port: int | None = None
         self._routes: list[TrunkRoute] = []
         self._accepted: list[TrunkLink] = []
+        #: The dynamic routing plane (off until enable_mesh): the route
+        #: table always exists so lookup code never branches on None.
+        self.mesh_enabled = False
+        self.table = RouteTable(self.name)
+        self._mesh_peers: dict[str, MeshPeer] = {}
+        self._mesh_neighbors: frozenset[str] | None = None
+        self._mesh_advertise: tuple[str, int] | None = None
+        self._registry: MeshRegistry | None = None
+        self._discovery: MeshDiscovery | None = None
+        self._seen_generation = 0
+        #: link -> _AdvertState: what each mesh link was last told.
+        self._advertised: dict[TrunkLink, _AdvertState] = {}
         #: link -> {call_id -> leg}; all mutation happens on the tick
         #: thread or under _state_lock.
         self._legs: dict[TrunkLink, dict[int, _TrunkLeg]] = {}
@@ -285,6 +457,19 @@ class TrunkGateway:
         self._m_batch_entries_in = m.counter("trunk.batch.entries_in")
         self._m_sendalls = m.counter("trunk.link.sendalls")
         self._m_recvs = m.counter("trunk.link.recvs")
+        self._m_adverts_in = m.counter("trunk.route.adverts_in")
+        self._m_adverts_out = m.counter("trunk.route.adverts_out")
+        self._m_withdrawn = m.counter("trunk.route.withdrawn")
+        self._m_loop_refused = m.counter("trunk.route.loop_refused")
+        self._m_hop_refused = m.counter("trunk.route.hop_refused")
+        self._m_failovers = m.counter("trunk.route.failovers")
+        self._m_tandem = m.counter("trunk.route.tandem_calls")
+        self._m_route_entries = m.gauge("trunk.route.entries")
+        self._m_mesh_peers = m.gauge("mesh.peers")
+        self._m_polls = m.counter("mesh.discovery.polls")
+        self._m_poll_failures = m.counter("mesh.discovery.poll_failures")
+        self._m_registrations = m.counter("mesh.registry.registrations")
+        self._m_reg_expired = m.counter("mesh.registry.expired")
         self._gauge_ticks = 0
         exchange.add_trunk_resolver(self)
         exchange.add_party(self)
@@ -309,6 +494,76 @@ class TrunkGateway:
     def routes(self) -> list[TrunkRoute]:
         return list(self._routes)
 
+    def enable_mesh(self, *, registry: tuple[str, int] | None = None,
+                    serve_registry: tuple[str, int] | None = None,
+                    prefixes=(),
+                    neighbors=None,
+                    advertise: tuple[str, int] | None = None,
+                    poll_interval: float = DEFAULT_POLL_INTERVAL,
+                    registry_ttl: float = DEFAULT_REGISTRY_TTL,
+                    max_hops: int = DEFAULT_MAX_HOPS) -> None:
+        """Join the dynamic routing mesh (docs/TELEPHONY.md).
+
+        ``registry`` is the host/port of the fleet's registry endpoint;
+        ``serve_registry`` makes *this* node host it (a node may do
+        both -- the registry host registers with itself when
+        ``registry`` is omitted).  ``prefixes`` are the number prefixes
+        this exchange originates.  ``neighbors`` restricts which
+        discovered peers this node *initiates* links to (topology
+        policy; None links to every peer, deduplicated by name order so
+        two nodes never cross-connect).  ``advertise`` overrides the
+        trunk listener address published to the registry -- e.g. when
+        peers must reach it through a proxy or NAT.
+
+        Gateway names must be unique across the mesh: the name is the
+        registry key, the route-advert origin, and the SETUP2 via-list
+        entry that makes loop prevention work.
+        """
+        self.mesh_enabled = True
+        self.table.max_hops = max_hops
+        for prefix in prefixes:
+            self.table.add_local(prefix)
+        if neighbors is not None:
+            self._mesh_neighbors = frozenset(neighbors)
+        self._mesh_advertise = advertise
+        if serve_registry is not None:
+            self._registry = MeshRegistry(serve_registry[0],
+                                          serve_registry[1],
+                                          ttl=registry_ttl)
+        registry_addr = registry
+        if registry_addr is None and serve_registry is not None:
+            registry_addr = serve_registry
+        if registry_addr is not None:
+            self._discovery = MeshDiscovery(
+                registry_addr, self._mesh_record, interval=poll_interval)
+        if self.host is None:
+            # A mesh node must accept trunks from its peers; pick an
+            # ephemeral listener unless one was configured explicitly.
+            self.listen()
+        if self._started:
+            self._start_mesh()
+
+    def _mesh_record(self) -> PeerRecord:
+        """This node's registration (called by the discovery poller)."""
+        if self._mesh_advertise is not None:
+            host, port = self._mesh_advertise
+        else:
+            host, port = self.host or "127.0.0.1", self.port or 0
+        return PeerRecord(self.name, host, port,
+                          self.table.local_prefixes)
+
+    def _start_mesh(self) -> None:
+        if self._registry is not None:
+            self._registry.start()
+            if (self._discovery is not None
+                    and self._discovery.registry[1] == 0):
+                # Registering with our own just-bound registry: the
+                # ephemeral port is only known now.
+                self._discovery.registry = (self._registry.host,
+                                            self._registry.port)
+        if self._discovery is not None:
+            self._discovery.start()
+
     def build_jitter(self) -> JitterBuffer:
         rate = self.exchange.sample_rate
         return JitterBuffer(
@@ -324,6 +579,8 @@ class TrunkGateway:
         self._running = True
         if self.host is not None:
             self._open_listener()
+        if self.mesh_enabled:
+            self._start_mesh()
         for route in self._routes:
             self._kick_route(route)
         return self
@@ -331,6 +588,10 @@ class TrunkGateway:
     def stop(self) -> None:
         self._running = False
         self._started = False
+        if self._discovery is not None:
+            self._discovery.stop()
+        if self._registry is not None:
+            self._registry.stop()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -382,20 +643,49 @@ class TrunkGateway:
         return best
 
     def outbound_leg(self, number: str) -> Line | None:
-        """A fresh outbound leg for ``number``, if a route covers it."""
+        """A fresh outbound leg for ``number``, if any route covers it.
+
+        The leg carries every viable path, ordered: the static route
+        wins when its prefix is at least as specific as the best mesh
+        match (``--trunk-route`` stays an override), then mesh
+        candidates by hop count.  Only *live* links become candidates
+        -- a prefix whose every next hop is dead still resolves (so the
+        failure is "trunk down", not "no such number") but the dial
+        fails fast instead of queueing into a dead link.
+        """
         route = self.route_for(number)
-        if route is None:
+        static_len = len(route.prefix) if route is not None else -1
+        mesh_links: list[TrunkLink] = []
+        mesh_live_len = -1
+        mesh_known_len = -1
+        if self.mesh_enabled:
+            mesh_links, mesh_live_len = self.table.candidates(number)
+            mesh_known_len = self.table.remote_match_len(number)
+        if route is None and mesh_known_len < 0:
             return None
-        link = route.live_link()
-        call_id = link.allocate_call_id() if link is not None else 0
-        return RemoteLine(number, self.exchange, self, link, call_id)
+        candidates: list[TrunkLink] = []
+        static_link = route.live_link() if route is not None else None
+        if static_len >= max(mesh_live_len, mesh_known_len):
+            if static_link is not None:
+                candidates.append(static_link)
+            candidates += [link for link in mesh_links
+                           if link is not static_link]
+        else:
+            candidates = list(mesh_links)
+            if static_link is not None and static_link not in candidates:
+                candidates.append(static_link)
+        link = candidates[0] if candidates else None
+        return RemoteLine(number, self.exchange, self, link, 0,
+                          candidates=candidates)
 
     # -- leg registry ---------------------------------------------------------
 
-    def register_outbound(self, leg: RemoteLine) -> None:
+    def register_outbound(self, leg: RemoteLine, *,
+                          first: bool = True) -> None:
         with self._state_lock:
             self._legs.setdefault(leg.link, {})[leg.call_id] = leg
-        self._m_calls_out.inc()
+        if first:
+            self._m_calls_out.inc()
         self._m_active.set(self._leg_count())
 
     def deregister_leg(self, leg: _TrunkLeg) -> None:
@@ -472,6 +762,8 @@ class TrunkGateway:
         for route in self._routes:
             if route.live_link() is None:
                 self._kick_route(route, now)
+        if self.mesh_enabled:
+            self._mesh_tick(now)
         for link in self._all_links():
             while link.inbound:
                 self._handle_frame(link, link.inbound.popleft())
@@ -480,12 +772,16 @@ class TrunkGateway:
         # audio the pump just routed leg-to-leg) goes out as one batch
         # per link.
         self._flush_staged()
+        if self.mesh_enabled:
+            self._flush_adverts()
         self._update_gauges()
 
     def _all_links(self) -> list[TrunkLink]:
         with self._state_lock:
             links = [route.link for route in self._routes
                      if route.link is not None]
+            links.extend(peer.link for peer in self._mesh_peers.values()
+                         if peer.link is not None)
             links.extend(self._accepted)
         return links
 
@@ -503,7 +799,20 @@ class TrunkGateway:
             dead_routed = [route.link for route in self._routes
                            if route.link is not None
                            and not route.link.alive]
-        for link in dead_accepted + dead_routed:
+            dead_mesh = [peer.link for peer in self._mesh_peers.values()
+                         if peer.link is not None
+                         and not peer.link.alive]
+        for link in dead_accepted + dead_routed + dead_mesh:
+            if self.mesh_enabled:
+                # Withdraw everything the dead link taught us *before*
+                # releasing legs: a failover dial inside the release
+                # must not re-select the dead path, and the version
+                # bump makes the advert flush propagate withdrawals.
+                lost = self.table.withdraw_link(link)
+                if lost:
+                    log.info("trunk link %s down: withdrew %d route(s)",
+                             link.name, len(lost))
+                self._advertised.pop(link, None)
             self._release_all_on(link, "trunk down")
 
     def _release_all_on(self, link: TrunkLink, reason: str) -> None:
@@ -511,11 +820,16 @@ class TrunkGateway:
             legs = list(self._legs.pop(link, {}).values())
         for leg in legs:
             self._fold_leg_stats(leg)
-            leg.released = True
             if isinstance(leg, RemoteLine):
+                # A ringing outbound leg whose path just died retries
+                # its next-best candidate before the call is failed.
+                if leg.failover(reason):
+                    continue
+                leg.released = True
                 leg.ringing = False
                 self.exchange.remote_released(leg, reason)
             else:
+                leg.released = True
                 leg.remote_released(reason)
         if legs:
             self._m_active.set(self._leg_count())
@@ -563,7 +877,9 @@ class TrunkGateway:
                          keepalive_interval=self.keepalive_interval,
                          outbound_bound=self.outbound_bound,
                          batching=(self.batch_enabled
-                                   and peer.minor >= BATCH_MIN_MINOR)).start()
+                                   and peer.minor >= BATCH_MIN_MINOR),
+                         mesh=(self.wire_minor >= MESH_MIN_MINOR
+                               and peer.minor >= MESH_MIN_MINOR)).start()
         with self._state_lock:
             route.link = link
             route.connecting = False
@@ -585,6 +901,95 @@ class TrunkGateway:
             route.connecting = False
         log.debug("trunk route %s=%s:%d connect failed (%s); retry in "
                   "%.2fs", route.prefix, route.host, route.port, why, delay)
+
+    # -- mesh: discovery-driven links + route adverts (tick thread) -----------
+
+    def _mesh_tick(self, now: float) -> None:
+        """Fold the latest discovery snapshot into peer links."""
+        discovery = self._discovery
+        if (discovery is not None
+                and discovery.generation != self._seen_generation):
+            self._seen_generation = discovery.generation
+            roster = discovery.peers()
+            stale_links: list[TrunkLink] = []
+            with self._state_lock:
+                for name, record in roster.items():
+                    peer = self._mesh_peers.get(name)
+                    if peer is None:
+                        self._mesh_peers[name] = MeshPeer(record)
+                    elif peer.record != record:
+                        if (peer.link is not None
+                                and (record.host, record.port)
+                                != (peer.record.host, peer.record.port)):
+                            stale_links.append(peer.link)
+                            peer.link = None
+                        peer.record = record
+                for name in [name for name in self._mesh_peers
+                             if name not in roster]:
+                    peer = self._mesh_peers.pop(name)
+                    if peer.link is not None:
+                        stale_links.append(peer.link)
+            for link in stale_links:
+                # Deregistered (or re-addressed) peers: close outside
+                # the state lock, the reap releases their calls.
+                link.close()
+        with self._state_lock:
+            peers = list(self._mesh_peers.values())
+        linked_names = {link.name for link in self._all_links()
+                        if link.alive}
+        for peer in peers:
+            if (self._should_initiate(peer.name)
+                    and peer.live_link() is None
+                    and peer.name not in linked_names):
+                self._kick_route(peer, now)
+
+    def _should_initiate(self, name: str) -> bool:
+        """Does the neighbor policy let us open the link to ``name``?
+
+        With an explicit neighbor list, only listed peers are dialed
+        (the topology knob the line/star soaks turn).  Without one,
+        every peer is a neighbor and the lexically smaller name
+        initiates, so two nodes never cross-connect.
+        """
+        if name == self.name:
+            return False
+        if self._mesh_neighbors is not None:
+            return name in self._mesh_neighbors
+        return self.name < name
+
+    def _flush_adverts(self) -> None:
+        """Tell each mesh link what changed in the route table.
+
+        Re-advertisement is bounded two ways: nothing is sent while the
+        table version a link last saw is current, and what is sent is
+        the *diff* against that link's previous export (vanished routes
+        go out as UNREACHABLE_HOPS withdrawals).  A fresh link has no
+        advert state, so it receives the full table once.
+        """
+        version = self.table.version
+        for link in self._all_links():
+            if not link.alive or not link.mesh:
+                continue
+            state = self._advertised.get(link)
+            if state is None:
+                state = self._advertised[link] = _AdvertState()
+            elif state.version == version:
+                continue
+            export = self.table.exports_for(link)
+            adverts = [(prefix, origin, hops, seq)
+                       for (prefix, origin), (hops, seq) in export.items()
+                       if state.sent.get((prefix, origin)) != (hops, seq)]
+            adverts += [(prefix, origin, UNREACHABLE_HOPS, seq)
+                        for (prefix, origin), (_hops, seq)
+                        in state.sent.items()
+                        if (prefix, origin) not in export]
+            state.version = version
+            state.sent = export
+            for start in range(0, len(adverts), MAX_ADVERT_ENTRIES):
+                chunk = tuple(adverts[start:start + MAX_ADVERT_ENTRIES])
+                self.send_on(link, TrunkFrame(FrameType.ROUTE_ADVERT,
+                                              adverts=chunk))
+                self._m_adverts_out.inc(len(chunk))
 
     # -- accepting ------------------------------------------------------------
 
@@ -617,7 +1022,9 @@ class TrunkGateway:
                 keepalive_interval=self.keepalive_interval,
                 outbound_bound=self.outbound_bound,
                 batching=(self.batch_enabled
-                          and peer.minor >= BATCH_MIN_MINOR)).start()
+                          and peer.minor >= BATCH_MIN_MINOR),
+                mesh=(self.wire_minor >= MESH_MIN_MINOR
+                      and peer.minor >= MESH_MIN_MINOR)).start()
             with self._state_lock:
                 self._accepted.append(link)
 
@@ -649,7 +1056,18 @@ class TrunkGateway:
                     leg.jitter.push(seq, payload)
             return
         self._m_signaling_in.inc()
-        if frame.type is FrameType.SETUP:
+        if frame.type is FrameType.ROUTE_ADVERT:
+            self._m_adverts_in.inc(len(frame.adverts))
+            if self.mesh_enabled:
+                # learn() bumps the table version on change; the next
+                # advert flush propagates it onward.
+                for prefix, origin, hops, seq in frame.adverts:
+                    self.table.learn(link, prefix, origin, hops, seq)
+            # A non-mesh gateway (static routes only) ignores adverts
+            # rather than refusing them: minor 2 is a capability, not
+            # an obligation.
+            return
+        if frame.type in (FrameType.SETUP, FrameType.SETUP2):
             self._handle_setup(link, frame)
             return
         leg = self._leg_for(link, frame.call_id)
@@ -673,8 +1091,29 @@ class TrunkGateway:
             self.send_on(link, TrunkFrame(FrameType.RELEASE, frame.call_id,
                                           reason="duplicate call id"))
             return
+        if frame.type is FrameType.SETUP2:
+            # The via list names every gateway the call already crossed;
+            # seeing our own name means a routing loop, and a hop count
+            # at the bound means someone's topology is degenerate.  Both
+            # releases are retryable, so the upstream tandem fails over
+            # to its next candidate instead of killing the call.
+            if self.name in frame.via:
+                self._m_loop_refused.inc()
+                log.warning("trunk link %s: routing loop for %r (via %s)",
+                            link.name, frame.number, "/".join(frame.via))
+                self.send_on(link, TrunkFrame(
+                    FrameType.RELEASE, frame.call_id, reason="routing loop"))
+                return
+            if frame.hops >= self.table.max_hops:
+                self._m_hop_refused.inc()
+                self.send_on(link, TrunkFrame(
+                    FrameType.RELEASE, frame.call_id,
+                    reason="max hops exceeded"))
+                return
         leg = InboundLeg(frame.caller_id or "unknown", self.exchange,
                          self, link, frame.call_id)
+        leg.via = frame.via
+        leg.hops = frame.hops
         with self._state_lock:
             self._legs.setdefault(link, {})[frame.call_id] = leg
         self._m_calls_in.inc()
@@ -749,6 +1188,19 @@ class TrunkGateway:
             self._fold(link, "recvs", self._m_recvs)
             self._fold(link, "batch_frames_out", self._m_batch_out)
             self._fold(link, "batch_entries_out", self._m_batch_entries_out)
+        if self.mesh_enabled:
+            self._m_route_entries.set(self.table.entry_count())
+            self._fold(self.table, "withdrawn", self._m_withdrawn)
+            with self._state_lock:
+                self._m_mesh_peers.set(len(self._mesh_peers))
+            if self._discovery is not None:
+                self._fold(self._discovery, "polls", self._m_polls)
+                self._fold(self._discovery, "poll_failures",
+                           self._m_poll_failures)
+            if self._registry is not None:
+                self._fold(self._registry, "registrations",
+                           self._m_registrations)
+                self._fold(self._registry, "expired", self._m_reg_expired)
         # The per-leg pass (jitter counter folds + depth/active gauges)
         # walks every leg; at hundreds of calls per link that walk costs
         # more than the bearer pump, so it runs every Nth tick.  Final
@@ -778,7 +1230,36 @@ class TrunkGateway:
     def live_link_count(self) -> int:
         return len([link for link in self._all_links() if link.alive])
 
+    def mesh_snapshot(self) -> dict:
+        """The mesh section of GET_SERVER_STATS: who we know, what we
+        can route.  Empty dict when mesh routing is not enabled."""
+        if not self.mesh_enabled:
+            return {}
+        linked = {link.name for link in self._all_links() if link.alive}
+        with self._state_lock:
+            peers = [{
+                "name": peer.name,
+                "endpoint": "%s:%d" % (peer.host, peer.port),
+                "prefixes": list(peer.record.prefixes),
+                "linked": peer.name in linked,
+            } for peer in sorted(self._mesh_peers.values(),
+                                 key=lambda peer: peer.name)]
+        snapshot = {
+            "node": self.name,
+            "max_hops": self.table.max_hops,
+            "advert_seq": self.table.seq,
+            "local_prefixes": list(self.table.local_prefixes),
+            "peers": peers,
+            "routes": self.table.snapshot(),
+        }
+        if self._discovery is not None:
+            snapshot["registry"] = "%s:%d" % self._discovery.registry
+        if self._registry is not None:
+            snapshot["serving_registry"] = "%s:%d" % (
+                self._registry.host, self._registry.port)
+        return snapshot
+
 
 # read_frame is re-exported for tests that speak raw trunk protocol.
-__all__ = ["InboundLeg", "RemoteLine", "TrunkGateway", "TrunkRoute",
-           "parse_route", "read_frame"]
+__all__ = ["InboundLeg", "MeshPeer", "RemoteLine", "TrunkGateway",
+           "TrunkRoute", "parse_route", "read_frame"]

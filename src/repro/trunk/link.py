@@ -40,6 +40,7 @@ from .wire import (
     FrameStream,
     FrameType,
     Handshake,
+    MESH_MIN_MINOR,
     TrunkFrame,
     TrunkProtocolError,
     encode_audio_batch_into,
@@ -74,7 +75,8 @@ class TrunkLink:
                  initiated: bool, name: str = "",
                  keepalive_interval: float = DEFAULT_KEEPALIVE_INTERVAL,
                  outbound_bound: int = DEFAULT_OUTBOUND_BOUND,
-                 batching: bool | None = None) -> None:
+                 batching: bool | None = None,
+                 mesh: bool | None = None) -> None:
         self.sock = sock
         self.peer = peer
         #: True when this endpoint opened the TCP connection; initiators
@@ -90,6 +92,11 @@ class TrunkLink:
         #: the pre-batch writer loop, byte-compatible with PR 5.
         self.batching = (peer.minor >= BATCH_MIN_MINOR if batching is None
                          else batching)
+        #: Negotiated the same way at minor >= 2: whether this link may
+        #: carry ROUTE_ADVERT and SETUP2 frames.  An old-minor peer
+        #: keeps classic SETUP and learns nothing -- static interop.
+        self.mesh = (peer.minor >= MESH_MIN_MINOR if mesh is None
+                     else mesh)
         self.alive = True
         self.last_rx = time.monotonic()
         # Initiators allocate odd call ids, acceptors even, so calls

@@ -1,0 +1,247 @@
+"""The dynamic route table: what the mesh has learned, per gateway.
+
+A :class:`RouteTable` holds everything one gateway knows about which
+peers own which number prefixes: the prefixes *this* node originates,
+plus every route learned from ROUTE_ADVERT frames, keyed by
+``(prefix, origin, link)`` so the same destination reached over two
+trunks keeps both paths and dial-time failover has somewhere to go.
+
+Semantics (distance-vector, deliberately minimal):
+
+* an advert carries the *sender's* hop count to the origin; learning it
+  costs one more hop, and anything past ``max_hops`` is dropped;
+* per origin, adverts carry a monotonically increasing sequence number
+  (bumped when the origin's prefix set changes); an advert older than
+  what a link already delivered is stale and ignored -- TCP keeps one
+  link's stream ordered, so this only matters across reconnects;
+* :meth:`withdraw_link` drops every route a dead link taught us (the
+  link-loss satellite fix: a dead next hop must not stay resolvable);
+* :meth:`exports_for` produces the advert set for one link with split
+  horizon -- routes learned *from* a link are never advertised back to
+  it -- which, with withdrawal-on-loss and the hop bound, is enough for
+  a line/star/ring fleet to converge without count-to-infinity;
+* :meth:`candidates` answers a dial: live links only, longest matching
+  prefix first, lowest hop count within it.
+
+The table is plain data with no locks and no I/O: every mutation
+happens on the gateway's tick (under the server's topology lock when
+embedded in a server), which is exactly the discipline
+``scripts/check_lock_discipline.py`` enforces for this file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .wire import UNREACHABLE_HOPS
+
+#: Default bound on route length, both for accepting adverts and for
+#: refusing SETUP2 frames that crossed too many tandems.
+DEFAULT_MAX_HOPS = 8
+
+
+@dataclass
+class RouteEntry:
+    """One learned route: ``origin`` owns ``prefix``, ``hops`` away
+    through the link this entry was learned on."""
+
+    prefix: str
+    origin: str
+    hops: int
+    seq: int
+    link: object
+
+
+class RouteTable:
+    """Longest-prefix, lowest-hop route knowledge for one gateway."""
+
+    def __init__(self, node: str, *,
+                 max_hops: int = DEFAULT_MAX_HOPS) -> None:
+        self.node = node
+        self.max_hops = max_hops
+        #: Prefixes this node originates (advertised at hop count 0).
+        self._local: list[str] = []
+        #: This origin's advert sequence; bumped when _local changes.
+        self.seq = 0
+        #: (prefix, origin) -> {link: RouteEntry}.
+        self._remote: dict[tuple[str, str], dict] = {}
+        #: Monotonic change counter; the gateway's advert flush compares
+        #: it against what each link last saw, so an unchanged table
+        #: costs nothing to "re-advertise".
+        self.version = 0
+        # Plain tallies; the gateway folds them into trunk.route.*.
+        self.adverts_in = 0
+        self.withdrawn = 0
+        self.stale_ignored = 0
+        self.hop_limited = 0
+
+    # -- local prefixes -------------------------------------------------------
+
+    def add_local(self, prefix: str) -> None:
+        if prefix and prefix not in self._local:
+            self._local.append(prefix)
+            self.seq += 1
+            self.version += 1
+
+    @property
+    def local_prefixes(self) -> tuple[str, ...]:
+        return tuple(self._local)
+
+    # -- learning (gateway tick, from ROUTE_ADVERT frames) --------------------
+
+    def learn(self, link, prefix: str, origin: str, hops: int,
+              seq: int) -> bool:
+        """Apply one advert entry from ``link``; True if anything
+        changed (so the gateway knows to re-advertise)."""
+        self.adverts_in += 1
+        if not prefix or not origin or origin == self.node:
+            # Our own routes echoed back (or garbage): never learn a
+            # path to ourselves through somebody else.
+            return False
+        key = (prefix, origin)
+        by_link = self._remote.get(key)
+        if hops == UNREACHABLE_HOPS:
+            if by_link is None or link not in by_link:
+                return False
+            if seq < by_link[link].seq:
+                self.stale_ignored += 1
+                return False
+            del by_link[link]
+            if not by_link:
+                del self._remote[key]
+            self.withdrawn += 1
+            self.version += 1
+            return True
+        cost = hops + 1
+        if cost > self.max_hops:
+            self.hop_limited += 1
+            return False
+        if by_link is None:
+            by_link = self._remote[key] = {}
+        entry = by_link.get(link)
+        if entry is not None:
+            if seq < entry.seq:
+                self.stale_ignored += 1
+                return False
+            if seq == entry.seq and cost == entry.hops:
+                return False
+            entry.seq = seq
+            entry.hops = cost
+        else:
+            by_link[link] = RouteEntry(prefix, origin, cost, seq, link)
+        self.version += 1
+        return True
+
+    def withdraw_link(self, link) -> list[tuple[str, str]]:
+        """Forget every route learned over ``link`` (it died).
+
+        Returns the ``(prefix, origin)`` pairs that lost a path, so the
+        caller can log them; the advert flush notices the version bump
+        and propagates withdrawals (or the surviving alternate path) to
+        the remaining peers on its own.
+        """
+        lost: list[tuple[str, str]] = []
+        for key in list(self._remote):
+            by_link = self._remote[key]
+            if link in by_link:
+                del by_link[link]
+                lost.append(key)
+                if not by_link:
+                    del self._remote[key]
+        if lost:
+            self.withdrawn += len(lost)
+            self.version += 1
+        return lost
+
+    # -- lookup (dial time) ---------------------------------------------------
+
+    def candidates(self, number: str) -> tuple[list, int]:
+        """Ordered live next-hop links for ``number``.
+
+        Returns ``(links, prefix_len)``: the links carrying the longest
+        prefix matching ``number`` among entries whose link is alive,
+        ordered lowest hop count first and deduplicated, plus that
+        prefix's length (-1 when nothing matches).  Dead links never
+        match at all -- that is the liveness fix: a withdrawn-but-not-
+        yet-reaped next hop must not capture the dial.
+        """
+        best_len = -1
+        matched: list[RouteEntry] = []
+        for (prefix, _origin), by_link in self._remote.items():
+            if not number.startswith(prefix):
+                continue
+            live = [entry for entry in by_link.values()
+                    if entry.link.alive]
+            if not live:
+                continue
+            if len(prefix) > best_len:
+                best_len = len(prefix)
+                matched = live
+            elif len(prefix) == best_len:
+                matched.extend(live)
+        matched.sort(key=lambda entry: entry.hops)
+        links: list = []
+        for entry in matched:
+            if entry.link not in links:
+                links.append(entry.link)
+        return links, best_len
+
+    def remote_match_len(self, number: str) -> int:
+        """Length of the longest *remote* prefix covering ``number``,
+        liveness ignored (-1 when none).
+
+        The gateway uses this to tell "no such number" (nothing ever
+        claimed the prefix) from "trunk down" (a route exists but every
+        next hop is dead right now).
+        """
+        best = -1
+        for prefix, _origin in self._remote:
+            if number.startswith(prefix) and len(prefix) > best:
+                best = len(prefix)
+        return best
+
+    # -- advertising (gateway advert flush) -----------------------------------
+
+    def exports_for(self, link) -> dict[tuple[str, str], tuple[int, int]]:
+        """The advert set one peer should hold: ``(prefix, origin) ->
+        (hops, seq)``.
+
+        Split horizon: routes learned over ``link`` itself are omitted,
+        so two nodes never advertise a destination back and forth at
+        ever-growing hop counts.  Hop counts are *this* node's cost;
+        the receiver pays one more.
+        """
+        export: dict[tuple[str, str], tuple[int, int]] = {}
+        for prefix in self._local:
+            export[(prefix, self.node)] = (0, self.seq)
+        for key, by_link in self._remote.items():
+            best: RouteEntry | None = None
+            for entry_link, entry in by_link.items():
+                if entry_link is link or not entry_link.alive:
+                    continue
+                if best is None or entry.hops < best.hops:
+                    best = entry
+            if best is not None and best.hops < self.max_hops:
+                export[key] = (best.hops, best.seq)
+        return export
+
+    # -- introspection (stats, tests) -----------------------------------------
+
+    def entry_count(self) -> int:
+        return sum(len(by_link) for by_link in self._remote.values())
+
+    def snapshot(self) -> list[dict]:
+        """Route rows for the stats plane, best path first per key."""
+        rows: list[dict] = []
+        for (prefix, origin), by_link in sorted(self._remote.items()):
+            for entry in sorted(by_link.values(),
+                                key=lambda item: item.hops):
+                rows.append({
+                    "prefix": prefix,
+                    "origin": origin,
+                    "hops": entry.hops,
+                    "seq": entry.seq,
+                    "next_hop": getattr(entry.link, "name", "?"),
+                    "live": bool(getattr(entry.link, "alive", False)),
+                })
+        return rows

@@ -22,6 +22,12 @@ while reading a packet capture:
     PONG      := u32 token
     AUDIO_BATCH := u32 count
                    count * (u32 call_id  u32 seq  blob mulaw_payload)
+    ROUTE_ADVERT := u16 count
+                    count * (string prefix  string origin
+                             u16 hops  u32 seq)
+    SETUP2    := u32 call_id  string number  string caller_id
+                 string forwarded_from  u8 hops
+                 u8 via_count  via_count * string via_node
 
 Call ids are allocated by the endpoint that *originates* the call; the
 endpoint that initiated the TCP connection uses odd ids and the acceptor
@@ -34,6 +40,17 @@ length-prefixed frame, so a 256-call link costs one frame (and one
 handshake time -- a peer announcing ``minor < 1`` keeps receiving plain
 per-frame ``AUDIO``, which stays both the compatibility path and the
 equivalence oracle for the batched one.
+
+``ROUTE_ADVERT`` and ``SETUP2`` (minor version 2) are the mesh routing
+plane (docs/TELEPHONY.md, "Mesh routing").  An advert entry announces
+that ``origin`` can be reached through the sender at ``hops`` trunk
+hops; hop count :data:`UNREACHABLE_HOPS` withdraws a previously
+advertised route.  ``SETUP2`` is SETUP plus the tandem-switching
+context: ``hops`` counts the trunk links the call has already crossed
+and ``via`` lists the gateways it has left, so a node that finds its
+own name in ``via`` refuses the loop.  Both are negotiated exactly like
+AUDIO_BATCH: a peer announcing ``minor < 2`` simply never sees them and
+keeps interoperating with plain SETUP and static routes.
 
 Marshalling reuses the :class:`~repro.protocol.wire.Writer` /
 :class:`~repro.protocol.wire.Reader` primitives of the client protocol
@@ -55,10 +72,14 @@ from ..protocol.wire import ConnectionClosed, Reader, WireFormatError, \
 #: First bytes on the wire, both directions.
 TRUNK_MAGIC = b"RTRK"
 TRUNK_MAJOR = 1
-TRUNK_MINOR = 1
+TRUNK_MINOR = 2
 
 #: Lowest minor version whose speaker understands AUDIO_BATCH frames.
 BATCH_MIN_MINOR = 1
+
+#: Lowest minor version whose speaker understands the mesh routing
+#: frames (ROUTE_ADVERT, SETUP2).
+MESH_MIN_MINOR = 2
 
 #: Upper bound on one frame's encoded size; anything bigger is a
 #: protocol violation (an AUDIO block at 8 kHz is ~160 bytes, and a
@@ -68,6 +89,18 @@ MAX_FRAME_BYTES = 1 << 20
 #: Upper bound on payloads packed into one AUDIO_BATCH; a corrupted
 #: count field must not drive an unbounded allocation loop.
 MAX_BATCH_ENTRIES = 4096
+
+#: Upper bound on route entries packed into one ROUTE_ADVERT frame;
+#: bigger tables are chunked across frames by the sender.
+MAX_ADVERT_ENTRIES = 1024
+
+#: Upper bound on the SETUP2 via list (the loop-prevention hop trail);
+#: real paths are bounded far lower by the gateway's max hop count.
+MAX_VIA_NODES = 64
+
+#: ROUTE_ADVERT hop count that *withdraws* the (prefix, origin) route
+#: instead of announcing it.
+UNREACHABLE_HOPS = 0xFFFF
 
 _LENGTH = struct.Struct("<I")
 _HANDSHAKE_HEAD = struct.Struct("<4sHHI")
@@ -93,12 +126,14 @@ class FrameType(enum.IntEnum):
     PING = 7
     PONG = 8
     AUDIO_BATCH = 9
+    ROUTE_ADVERT = 10
+    SETUP2 = 11
 
 
 #: Frame types that carry call signaling (everything but bearer/keepalive).
 SIGNALING_TYPES = frozenset({
     FrameType.SETUP, FrameType.ALERTING, FrameType.ANSWER,
-    FrameType.RELEASE, FrameType.DTMF,
+    FrameType.RELEASE, FrameType.DTMF, FrameType.SETUP2,
 })
 
 
@@ -118,6 +153,13 @@ class TrunkFrame:
     token: int = 0
     #: AUDIO_BATCH only: ``(call_id, seq, mulaw_payload)`` per call.
     entries: tuple = ()
+    #: SETUP2 only: trunk hops already crossed, and the names of the
+    #: gateways the call has left (oldest first) for loop prevention.
+    hops: int = 0
+    via: tuple = ()
+    #: ROUTE_ADVERT only: ``(prefix, origin, hops, seq)`` per route;
+    #: hops == UNREACHABLE_HOPS withdraws the route.
+    adverts: tuple = ()
 
     def encode(self) -> bytes:
         if self.type is FrameType.AUDIO:
@@ -136,12 +178,24 @@ class TrunkFrame:
         writer.u8(int(self.type))
         if self.type in (FrameType.PING, FrameType.PONG):
             writer.u32(self.token)
+        elif self.type is FrameType.ROUTE_ADVERT:
+            writer.u16(len(self.adverts))
+            for prefix, origin, hops, seq in self.adverts:
+                writer.string(prefix)
+                writer.string(origin)
+                writer.u16(hops)
+                writer.u32(seq)
         else:
             writer.u32(self.call_id)
-            if self.type is FrameType.SETUP:
+            if self.type in (FrameType.SETUP, FrameType.SETUP2):
                 writer.string(self.number)
                 writer.string(self.caller_id)
                 writer.string(self.forwarded_from)
+                if self.type is FrameType.SETUP2:
+                    writer.u8(self.hops)
+                    writer.u8(len(self.via))
+                    for node in self.via:
+                        writer.string(node)
             elif self.type is FrameType.RELEASE:
                 writer.string(self.reason)
             elif self.type is FrameType.DTMF:
@@ -209,6 +263,18 @@ def decode_frame(body: bytes) -> TrunkFrame:
             raise TrunkProtocolError("unknown frame type %d" % raw_type)
         if frame_type in (FrameType.PING, FrameType.PONG):
             frame = TrunkFrame(frame_type, token=reader.u32())
+        elif frame_type is FrameType.ROUTE_ADVERT:
+            count = reader.u16()
+            if count > MAX_ADVERT_ENTRIES:
+                raise TrunkProtocolError(
+                    "ROUTE_ADVERT of %d entries too large" % count)
+            adverts = []
+            for _ in range(count):
+                prefix = reader.string()
+                origin = reader.string()
+                adverts.append((prefix, origin, reader.u16(),
+                                reader.u32()))
+            frame = TrunkFrame(frame_type, adverts=tuple(adverts))
         elif frame_type is FrameType.AUDIO_BATCH:
             count = reader.u32()
             if count > MAX_BATCH_ENTRIES:
@@ -227,6 +293,20 @@ def decode_frame(body: bytes) -> TrunkFrame:
                                    number=reader.string(),
                                    caller_id=reader.string(),
                                    forwarded_from=reader.string())
+            elif frame_type is FrameType.SETUP2:
+                number = reader.string()
+                caller_id = reader.string()
+                forwarded_from = reader.string()
+                hops = reader.u8()
+                via_count = reader.u8()
+                if via_count > MAX_VIA_NODES:
+                    raise TrunkProtocolError(
+                        "SETUP2 via list of %d nodes too long" % via_count)
+                via = tuple(reader.string() for _ in range(via_count))
+                frame = TrunkFrame(frame_type, call_id, number=number,
+                                   caller_id=caller_id,
+                                   forwarded_from=forwarded_from,
+                                   hops=hops, via=via)
             elif frame_type is FrameType.RELEASE:
                 frame = TrunkFrame(frame_type, call_id,
                                    reason=reader.string())

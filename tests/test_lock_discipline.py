@@ -166,3 +166,38 @@ def test_gateway_is_registered_for_the_implicit_rule():
     assert "trunk/gateway.py" in lint.IMPLICIT_LOCK_FILES
     exempt = lint.IMPLICIT_LOCK_FILES["trunk/gateway.py"]
     assert {"_connect_route", "_accept_loop"} <= set(exempt)
+
+
+def test_routing_table_is_registered_with_no_exemptions():
+    # Pure data mutated on the tick: every function is implicitly under
+    # the topology lock and none may block.
+    assert lint.IMPLICIT_LOCK_FILES["trunk/routing.py"] == frozenset()
+
+
+def test_discovery_is_registered_with_its_thread_loops_exempt():
+    exempt = lint.IMPLICIT_LOCK_FILES["trunk/discovery.py"]
+    assert {"_serve_loop", "_handle", "_poll_loop", "poll_once"} \
+        <= set(exempt)
+
+
+def test_implicit_rule_would_catch_socket_io_in_a_route_table(tmp_path):
+    # Guards the routing.py entry: a RouteTable method that grew a
+    # socket write would fail the lint, not just code review.
+    violations = _check_implicit(tmp_path, """\
+        def learn(self, link, prefix, origin, hops, seq):
+            link.sock.sendall(b"advert")
+    """, exempt=lint.IMPLICIT_LOCK_FILES["trunk/routing.py"])
+    assert [reason for _line, reason in violations] == [
+        "socket .sendall() under a lock"]
+
+
+def test_discovery_poll_io_is_exempt_but_snapshot_reads_are_not(tmp_path):
+    violations = _check_implicit(tmp_path, """\
+        def poll_once(self):
+            self.sock.sendall(b"register")
+
+        def peers(self):
+            self.sock.recv(4)
+    """, exempt=lint.IMPLICIT_LOCK_FILES["trunk/discovery.py"])
+    assert [reason for _line, reason in violations] == [
+        "socket .recv() under a lock"]

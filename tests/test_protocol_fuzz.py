@@ -390,3 +390,106 @@ class TestTrunkBatchFuzz:
             decode_frame(body)
         except TrunkProtocolError:
             pass
+
+
+# -- mesh route propagation and registry framing ------------------------------
+
+from repro.trunk.discovery import (  # noqa: E402
+    OP_PEERS,
+    OP_REGISTER,
+    PeerRecord,
+    RegistryProtocolError,
+    decode_registry_frame,
+    encode_peers,
+    encode_register,
+)
+from repro.trunk.wire import MAX_VIA_NODES, decode_frame  # noqa: E402
+
+_short_text = st.text(max_size=12)
+
+_advert_entries = st.lists(
+    st.tuples(_short_text, _short_text,
+              st.integers(0, 0xFFFF), st.integers(0, 2**32 - 1)),
+    max_size=12)
+
+_peer_records = st.builds(
+    PeerRecord, _short_text, _short_text, st.integers(0, 0xFFFF),
+    st.lists(_short_text, max_size=8).map(tuple))
+
+
+class TestMeshWireFuzz:
+    """ROUTE_ADVERT / SETUP2 round-trips and failure containment.
+
+    (Random whole-frame bodies are already covered by
+    :class:`TestTrunkBatchFuzz`, whose generator reaches the new frame
+    types through the shared decoder.)
+    """
+
+    @given(_advert_entries)
+    @settings(max_examples=200, deadline=None)
+    def test_route_advert_roundtrip(self, entries):
+        frame = TrunkFrame(FrameType.ROUTE_ADVERT, adverts=tuple(entries))
+        encoded = frame.encode()
+        assert int.from_bytes(encoded[:4], "little") == len(encoded) - 4
+        assert decode_frame(encoded[4:]) == frame
+
+    @given(st.integers(0, 2**32 - 1), _short_text, _short_text,
+           st.integers(0, 255),
+           st.lists(_short_text, max_size=MAX_VIA_NODES))
+    @settings(max_examples=200, deadline=None)
+    def test_setup2_roundtrip(self, call_id, number, caller_id, hops, via):
+        frame = TrunkFrame(FrameType.SETUP2, call_id, number=number,
+                           caller_id=caller_id, hops=hops, via=tuple(via))
+        assert decode_frame(frame.encode()[4:]) == frame
+
+    @given(_advert_entries.filter(bool), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_truncated_advert_rejected_cleanly(self, entries, data):
+        body = TrunkFrame(FrameType.ROUTE_ADVERT,
+                          adverts=tuple(entries)).encode()[4:]
+        cut = data.draw(st.integers(1, len(body) - 1))
+        with pytest.raises(TrunkProtocolError):
+            decode_frame(body[:cut])
+
+    @given(st.lists(_short_text, min_size=1, max_size=8), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_truncated_setup2_rejected_cleanly(self, via, data):
+        body = TrunkFrame(FrameType.SETUP2, 7, number="200",
+                          caller_id="100", hops=3,
+                          via=tuple(via)).encode()[4:]
+        cut = data.draw(st.integers(1, len(body) - 1))
+        with pytest.raises(TrunkProtocolError):
+            decode_frame(body[:cut])
+
+
+class TestRegistryWireFuzz:
+    """The RMSH registry decoder: same containment property as the
+    trunk's -- hostile bytes cost RegistryProtocolError, never a crash."""
+
+    @given(_peer_records)
+    @settings(max_examples=200, deadline=None)
+    def test_register_roundtrip(self, record):
+        op, records = decode_registry_frame(encode_register(record)[4:])
+        assert (op, records) == (OP_REGISTER, [record])
+
+    @given(st.lists(_peer_records, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_peers_roundtrip(self, roster):
+        op, records = decode_registry_frame(encode_peers(roster)[4:])
+        assert (op, records) == (OP_PEERS, roster)
+
+    @given(st.lists(_peer_records, min_size=1, max_size=4), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_truncated_registry_frame_rejected(self, roster, data):
+        body = encode_peers(roster)[4:]
+        cut = data.draw(st.integers(1, len(body) - 1))
+        with pytest.raises(RegistryProtocolError):
+            decode_registry_frame(body[:cut])
+
+    @given(st.binary(max_size=256))
+    @settings(max_examples=300, deadline=None)
+    def test_random_registry_body_never_crashes(self, body):
+        try:
+            decode_registry_frame(body)
+        except RegistryProtocolError:
+            pass
